@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through
+``repro.experiments`` and prints the same rows/series the paper reports.
+The experiments are deterministic end-to-end simulations, so each target
+runs exactly once (``rounds=1``) — the interesting output is the printed
+table plus shape assertions, not wall-clock statistics.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""Ablation — multiplexer tree vs flat mux (DESIGN.md, §5 / §7.2)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablation_muxtree(benchmark):
+    table = run_once(benchmark, ablations.mux_tree_study)
+    table.show()
+    by_radix = {row[0]: row for row in table.rows}
+
+    # Only the binary tree closes 400 MHz timing; the flat 8:1 mux cannot
+    # (AmorphOS's flat mux runs at a lower shell frequency).
+    assert by_radix[2][3] == "yes"
+    assert by_radix[8][3] == "no"
+    # The price of the tree: three levels x 33 ns of added latency.
+    assert float(by_radix[2][4]) == 99.0
+    # fmax degrades monotonically with fan-in.
+    fmax = [float(by_radix[r][2]) for r in (2, 4, 8)]
+    assert fmax[0] > fmax[1] > fmax[2]

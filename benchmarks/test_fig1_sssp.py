@@ -1,0 +1,30 @@
+"""Fig. 1 — SSSP: shared-memory vs host-centric, native and virtualized."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_sssp
+
+
+def test_fig1_sssp(benchmark):
+    table = run_once(
+        benchmark,
+        fig1_sssp.run,
+        n_vertices=20_000,
+        edge_counts=[80_000, 160_000, 320_000, 640_000],
+    )
+    table.show()
+    gains = fig1_sssp.speedups(table)
+    print("shared-memory advantage, native:     ", [f"{g:.0%}" for g in gains["native"]])
+    print("shared-memory advantage, virtualized:", [f"{g:.0%}" for g in gains["virtualized"]])
+
+    # Shape: shared-memory wins everywhere, and the gap widens when
+    # virtualized (trap-and-emulate inflates host-centric control traffic).
+    assert all(gain > 0.08 for gain in gains["native"])
+    assert all(v >= n - 0.02 for n, v in zip(gains["native"], gains["virtualized"]))
+    # The virtualized gap widens on larger graphs (trap-and-emulate).
+    assert gains["virtualized"][-1] > gains["native"][-1]
+    # Config (per-segment MMIO) is the slower host-centric variant on
+    # pointer-chasing graphs with many small segments.
+    for row in table.rows:
+        _edges, shared, cfg, _copy, shared_v, cfg_v, _copy_v = row
+        assert cfg > shared
+        assert cfg_v > shared_v

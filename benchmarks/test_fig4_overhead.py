@@ -1,0 +1,27 @@
+"""Fig. 4 — OPTIMUS overhead vs pass-through (latency and throughput)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_overhead
+
+
+def test_fig4_overhead(benchmark):
+    tables = run_once(benchmark, fig4_overhead.run)
+    tables["latency"].show()
+    tables["throughput"].show()
+
+    # Fig. 4a shape: UPI pays a larger *relative* latency penalty than
+    # PCIe (same ~100 ns mux-tree adder on a smaller base), both under 35%.
+    lat = {row[0]: row[3] for row in tables["latency"].rows}
+    assert 110.0 < lat["UPI"] < 135.0  # paper: 124.2%
+    assert 105.0 < lat["PCIe"] < 120.0  # paper: 111.1%
+    assert lat["UPI"] > lat["PCIe"]
+
+    # Fig. 4b shape: MemBench is the worst case (issue limit); realistic
+    # benchmarks lose at most ~8%; compute-bound ones lose ~nothing.
+    thr = {row[0]: row[3] for row in tables["throughput"].rows}
+    assert 85.0 < thr["MB"] < 96.0  # paper: 90.1%
+    for name in ("MD5", "SHA", "SW", "BTC"):
+        assert thr[name] > 97.0
+    for name in ("GAU", "GRS", "SBL"):
+        assert 88.0 < thr[name] < 98.0
+    assert all(ratio > 85.0 for ratio in thr.values())

@@ -1,0 +1,56 @@
+"""Fig. 5 — LinkedList latency vs working set / jobs / page size."""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_latency
+from repro.mem import PAGE_SIZE_2M, PAGE_SIZE_4K
+
+
+def _col(table, label):
+    return {row[0]: row[table.columns.index(label)] for row in table.rows}
+
+
+def test_fig5a_2m_pages(benchmark):
+    tables = run_once(
+        benchmark,
+        fig5_latency.run,
+        page_size=PAGE_SIZE_2M,
+        working_sets=["64M", "512M", "1G", "2G", "4G", "8G"],
+        job_counts=[1, 8],
+        hops_per_job=900,
+    )
+    for table in tables.values():
+        table.show()
+    upi = tables["UPI"]
+    one_job = _col(upi, "1_jobs")
+    eight_jobs = _col(upi, "8_jobs")
+
+    # Flat while the working set fits the IOTLB's 1 GB reach...
+    assert one_job["512M"] < 1.10 * one_job["64M"]
+    # ...then latency climbs rapidly at 4-8 GB (page walks).
+    assert one_job["4G"] > 1.3 * one_job["512M"]
+    assert one_job["8G"] > one_job["4G"]
+    # More jobs at small working sets costs little (<~10% queuing).
+    assert eight_jobs["512M"] < 1.15 * one_job["512M"]
+    # PCIe sits well above UPI at every point.
+    pcie = _col(tables["PCIe"], "1_jobs")
+    assert all(pcie[ws] > one_job[ws] for ws in one_job if not math.isnan(one_job[ws]))
+
+
+def test_fig5b_4k_pages(benchmark):
+    tables = run_once(
+        benchmark,
+        fig5_latency.run,
+        page_size=PAGE_SIZE_4K,
+        working_sets=["256K", "1M", "2M", "8M", "16M"],
+        job_counts=[1],
+        hops_per_job=900,
+    )
+    for table in tables.values():
+        table.show()
+    one_job = _col(tables["UPI"], "1_jobs")
+    # With 4 KB pages the IOTLB covers only 2 MB: the knee moves 512x left.
+    assert one_job["1M"] < 1.15 * one_job["256K"]
+    assert one_job["8M"] > 1.3 * one_job["1M"]
+    assert one_job["16M"] > one_job["8M"] * 0.95

@@ -1,0 +1,47 @@
+"""Fig. 8 — preemptive temporal multiplexing overhead and scalability."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_temporal
+
+
+def test_fig8_temporal(benchmark):
+    table = run_once(
+        benchmark,
+        fig8_temporal.run,
+        job_counts=[1, 2, 4, 8, 16],
+        time_slice_ms=10.0,
+        run_ms=45.0,
+    )
+    table.show()
+    rows = {row[0]: [float(v) for v in row[1:-1]] for row in table.rows}
+
+    for label, series in rows.items():
+        one, two, *rest = series
+        sixteen = series[-1]
+        overhead_2 = 1.0 - two
+        overhead_16 = 1.0 - sixteen
+        print(f"{label}: overhead at 2 jobs {overhead_2:.2%}, at 16 jobs {overhead_16:.2%}")
+        # Preemption costs something the moment a competitor exists...
+        assert two < 1.0
+        # ...but stays roughly constant as the oversubscription grows
+        # (fixed preemption interval, §6.6).
+        assert abs(overhead_16 - overhead_2) < 0.05
+
+    # Microbenchmarks with tiny architected state lose ~1% or less;
+    # the MD5 full-footprint worst case is an order of magnitude dearer.
+    assert 1.0 - rows["LL"][1] < 0.03
+    assert 1.0 - rows["MB"][1] < 0.03
+    assert 0.04 < 1.0 - rows["MD5-worst"][1] < 0.15  # paper estimate: ~9%
+
+
+def test_fig8_slice_length_sweep(benchmark):
+    table = run_once(
+        benchmark,
+        fig8_temporal.slice_length_sweep,
+        name="MB",
+        slices_ms=[1.0, 5.0, 10.0],
+    )
+    table.show()
+    values = [float(row[1]) for row in table.rows]
+    # Longer slices amortize context switches: monotone improvement.
+    assert values[0] < values[-1]

@@ -1,0 +1,39 @@
+"""Table 2 — resource utilization, pass-through vs 8 accelerators."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_resources
+
+#: Paper's OPTIMUS-column accelerator rows (ALM %), for shape comparison.
+PAPER_ALM_8X = {
+    "AES": 27.80, "MD5": 34.27, "SHA": 18.16, "FIR": 15.77, "GRN": 12.53,
+    "RSD": 17.93, "SW": 10.34, "GRS": 9.92, "GAU": 25.28, "SBL": 18.49,
+    "SSSP": 15.73, "BTC": 8.99, "MB": 4.84, "LL": -0.24,
+}
+
+
+def test_table2_resources(benchmark):
+    table = run_once(benchmark, table2_resources.run)
+    table.show()
+    rows = {row[0]: row for row in table.rows}
+
+    # Fixed components match the paper exactly.
+    assert rows["Shell"][1] == pytest.approx(23.44)
+    assert rows["Hardware Monitor"][1] == pytest.approx(6.16, abs=0.01)
+    assert rows["Hardware Monitor"][1] < 7.0  # "less than 7% of resources"
+
+    # Normal designs scale ~linearly.  The paper's per-benchmark
+    # multipliers are idiosyncratic synthesis outcomes (6.8x-8.4x of the
+    # single-instance cost); our uniform congestion model lands within
+    # ~20% of every row.
+    for name, paper_alm in PAPER_ALM_8X.items():
+        ours = rows[name][1]
+        if name == "LL":
+            assert ours < 0  # net decrease, as in the paper
+        else:
+            assert ours == pytest.approx(paper_alm, rel=0.22)
+
+    gain = table2_resources.utilization_gain()
+    print(f"mean accelerator-utilization gain at 8x: {gain:.2f}x")
+    assert 6.0 < gain < 9.0  # "roughly linear" utilization increase

@@ -1,0 +1,24 @@
+"""Table 4 — MemBench throughput when co-located with each benchmark."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4_colocation
+
+
+def test_table4_colocation(benchmark):
+    table = run_once(benchmark, table4_colocation.run)
+    table.show()
+    normalized = {row[0]: float(row[2]) for row in table.rows}
+
+    # Fairness floor: MemBench always keeps at least ~half its standalone
+    # bandwidth, even against another bandwidth-hungry tenant.
+    assert all(value > 0.45 for value in normalized.values())
+
+    # Bandwidth-hungry co-tenants split the platform evenly...
+    for name in ("MD5", "MB"):
+        assert normalized[name] < 0.65, f"{name} should roughly halve MemBench"
+    # ...light co-tenants leave MemBench nearly untouched.
+    for name in ("GRN", "BTC", "LL"):
+        assert normalized[name] > 0.90, f"{name} should barely dent MemBench"
+    # Streaming benchmarks land in between, as in the paper's 0.75-0.86.
+    for name in ("AES", "SHA", "FIR", "RSD", "GAU", "GRS", "SBL", "SSSP", "SW"):
+        assert 0.60 < normalized[name] < 0.98

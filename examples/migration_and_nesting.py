@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Beyond the evaluation: live migration and nested virtualization.
+
+Two capabilities the paper argues for (§4.1, §7.1) but never measures:
+
+1. **Migration** — a running MemBench tenant is moved from physical
+   accelerator 0 to physical accelerator 1 mid-flight.  The move costs one
+   preemption; the tenant's 64 GB IOVA slice (and every IO-page-table
+   entry) stays exactly where it was.
+
+2. **Nested virtualization** — a tenant acting as an L1 hypervisor
+   sub-slices its DMA window between two L2 guests and runs an AES job
+   for one of them.  The three-stage translation (L2 GVA -> L1 GVA ->
+   IOVA -> HPA) is printed for one address.
+
+Run:  python examples/migration_and_nesting.py
+"""
+
+from repro import PlatformParams, build_platform
+from repro.accel import AesJob, MemBenchJob
+from repro.accel.streaming import REG_DST, REG_LEN, REG_PARAM0, REG_PARAM1, REG_SRC
+from repro.guest import GuestAccelerator
+from repro.hv import OptimusHypervisor
+from repro.hv.nested import NestedHypervisor
+from repro.kernels import encrypt_ecb
+from repro.mem import MB
+from repro.sim.clock import ms, us
+
+
+def demonstrate_migration(platform, hv) -> None:
+    print("== migration (§7.1) " + "=" * 40)
+    vm = hv.create_vm("mover")
+    job = MemBenchJob(functional=False, seed=0x5151, lines_per_request=16)
+    vaccel = hv.create_virtual_accelerator(vm, job, physical_index=0)
+    handle = GuestAccelerator(hv, vm, vaccel, window_bytes=24 * MB)
+    ws = handle.alloc_buffer(8 * MB)
+    for reg, value in ((REG_SRC, ws), (REG_LEN, 8 * MB), (REG_PARAM0, 0), (REG_PARAM1, 0)):
+        handle.mmio_write(reg, value)
+    handle.start()
+    platform.run_for(ms(2))
+    before = job.ops_done
+    iova = vaccel.slice.iova_base
+    hpa_before = platform.iommu.translate_sync(iova)
+    print(f"running on accelerator {vaccel.physical_index}: {before} requests done")
+
+    done = hv.migrate_virtual_accelerator(vaccel, 1)
+    platform.engine.run_until(done, limit_ps=platform.engine.now + ms(50))
+    platform.run_for(ms(2))
+    print(f"migrated to accelerator {vaccel.physical_index} "
+          f"({vaccel.preempt_count} preemption, slice untouched: "
+          f"IOVA {iova:#x} still -> HPA {hpa_before:#x}: "
+          f"{platform.iommu.translate_sync(iova) == hpa_before})")
+    print(f"progress continued: {job.ops_done - before} more requests\n")
+    assert job.ops_done > before
+
+
+def demonstrate_nesting(platform, hv) -> None:
+    print("== nested virtualization (§4.1) " + "=" * 28)
+    vm = hv.create_vm("l1-hypervisor")
+    job = AesJob(functional=True)
+    vaccel = hv.create_virtual_accelerator(vm, job, physical_index=2)
+    handle = GuestAccelerator(hv, vm, vaccel, window_bytes=64 * MB)
+    l1 = NestedHypervisor(handle, sub_slice_bytes=16 * MB)
+    tenant_a = l1.create_sub_guest()
+    tenant_b = l1.create_sub_guest()
+    print(f"L1 window sub-sliced: tenant A at +{tenant_a.base - (vaccel.window_base_gva or 0):#x}, "
+          f"tenant B at +{tenant_b.base - (vaccel.window_base_gva or 0):#x}")
+
+    plaintext = bytes(range(256)) * 8
+    src = tenant_a.alloc_buffer(len(plaintext))
+    dst = tenant_a.alloc_buffer(len(plaintext))
+    tenant_a.write_buffer(src, plaintext)
+    tenant_a.mmio_write(REG_SRC, src, is_address=True)
+    tenant_a.mmio_write(REG_DST, dst, is_address=True)
+    tenant_a.mmio_write(REG_LEN, len(plaintext))
+    chain = l1.translation_chain(tenant_a, src)
+    print("translation chain for tenant A's source buffer:")
+    for stage, address in chain.items():
+        print(f"  {stage:>7}: {address:#x}")
+    done = handle.start()
+    platform.engine.run_until(done, limit_ps=platform.engine.now + ms(100))
+    assert tenant_a.read_buffer(dst, len(plaintext)) == encrypt_ecb(job.key, plaintext)
+    print("tenant A's AES job ran through L2->L1->L0 and verified correct.\n")
+
+
+def main() -> None:
+    platform = build_platform(PlatformParams(time_slice_ps=us(500)), n_accelerators=3)
+    hv = OptimusHypervisor(platform)
+    demonstrate_migration(platform, hv)
+    demonstrate_nesting(platform, hv)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Multi-tenant cloud: eight guests, eight different accelerators, one FPGA.
+
+The paper's deployment story (§1, §3): a cloud provider configures one
+shared-memory FPGA as a set of popular accelerators and rents them to
+different customers.  This example spatially multiplexes eight tenants —
+each with its own VM, its own IOVA slice, and a different accelerator —
+runs them concurrently, and prints a per-tenant report showing:
+
+* every tenant's job made progress simultaneously (spatial multiplexing),
+* no IOMMU faults occurred (page table slicing isolated every DMA),
+* bandwidth was shared (round-robin multiplexer tree).
+
+Run:  python examples/multi_tenant_cloud.py
+"""
+
+from repro import PlatformParams, build_platform
+from repro.accel import make_job
+from repro.accel.streaming import REG_DST, REG_LEN, REG_SRC
+from repro.experiments.harness import ENDLESS
+from repro.guest import GuestAccelerator
+from repro.hv import OptimusHypervisor
+from repro.mem import MB
+from repro.sim.clock import us
+
+TENANTS = [
+    ("alice", "AES"),
+    ("bob", "SHA"),
+    ("carol", "MD5"),
+    ("dave", "FIR"),
+    ("erin", "GAU"),
+    ("frank", "GRS"),
+    ("grace", "RSD"),
+    ("heidi", "SW"),
+]
+
+
+def main() -> None:
+    platform = build_platform(PlatformParams(), n_accelerators=8)
+    hypervisor = OptimusHypervisor(platform)
+
+    tenants = []
+    for index, (who, bench) in enumerate(TENANTS):
+        vm = hypervisor.create_vm(who)
+        job = make_job(bench, functional=False)  # pattern mode: long-running
+        vaccel = hypervisor.create_virtual_accelerator(vm, job, physical_index=index)
+        accel = GuestAccelerator(hypervisor, vm, vaccel, window_bytes=96 * MB)
+        src = accel.alloc_buffer(32 * MB)
+        dst = accel.alloc_buffer(32 * MB)
+        accel.mmio_write(REG_SRC, src)
+        accel.mmio_write(REG_DST, dst)
+        accel.mmio_write(REG_LEN, ENDLESS)
+        accel.start()
+        tenants.append((who, bench, job, vaccel))
+        print(f"{who:>6}: {bench:4} on physical accelerator {index}, "
+              f"slice {vaccel.slice.iova_base >> 30} GB")
+
+    # Let everyone run for half a simulated millisecond.
+    platform.run_for(us(200))
+    base = [job.progress_units() for _w, _b, job, _v in tenants]
+    platform.run_for(us(300))
+
+    print("\nper-tenant throughput over a 300 us window:")
+    total = 0.0
+    for (who, bench, job, _vaccel), start in zip(tenants, base):
+        gbps = (job.progress_units() - start) / us(300) * 1e3
+        total += gbps
+        print(f"  {who:>6} ({bench:4}): {gbps:6.2f} GB/s")
+    print(f"  aggregate: {total:.2f} GB/s "
+          f"(platform ceiling ~12.6 GB/s under OPTIMUS)")
+
+    faults = platform.iommu.faults
+    print(f"\nIOMMU faults: {faults} — page table slicing kept every tenant "
+          "inside its own slice")
+    assert faults["translation"] == 0 and faults["protection"] == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Pointer chasing: why shared-memory FPGAs beat host-centric ones (Fig. 1).
+
+Runs single-source shortest path over the same random graph under three
+programming models:
+
+* **shared-memory** — the SSSP accelerator issues its own DMAs, chasing
+  offset -> edge-list pointers without CPU involvement;
+* **host-centric + Config** — the CPU programs a DMA engine for every
+  non-contiguous edge-list segment;
+* **host-centric + Copy** — the CPU marshals segments into a contiguous
+  buffer, then issues one DMA per frontier round;
+
+each natively and under virtualization (where trap-and-emulate makes
+every host MMIO dearer).  This is the paper's motivating experiment.
+
+Run:  python examples/pointer_chasing.py
+"""
+
+from repro.experiments import fig1_sssp
+
+
+def main() -> None:
+    table = fig1_sssp.run(
+        n_vertices=10_000, edge_counts=[40_000, 160_000, 640_000]
+    )
+    table.show()
+    gains = fig1_sssp.speedups(table)
+    print("shared-memory advantage over the best host-centric variant:")
+    for (native, virt), row in zip(
+        zip(gains["native"], gains["virtualized"]), table.rows
+    ):
+        print(f"  {row[0]:>7} edges: native +{native:.0%}, virtualized +{virt:.0%}")
+    print("\nthe gap widens under virtualization because every host-centric")
+    print("DMA configuration traps to the hypervisor, while shared-memory")
+    print("accelerators keep the data plane hypervisor-free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: accelerate AES encryption inside a guest VM.
+
+Walks the full OPTIMUS stack end to end:
+
+1. build a simulated shared-memory FPGA platform with the hardware
+   monitor (two physical accelerators);
+2. start the hypervisor, boot a guest VM, and create a virtual
+   accelerator (a mediated device with its own 64 GB IOVA slice);
+3. from the guest: allocate FPGA-accessible DMA buffers (pages are
+   registered through the shadow-paging hypercall), program the
+   accelerator over MMIO, start the job;
+4. verify that the AES accelerator's output in shared memory matches a
+   host-computed reference — the same bytes, through real simulated DMAs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PlatformParams, build_platform
+from repro.accel import AesJob
+from repro.accel.streaming import REG_DST, REG_LEN, REG_SRC
+from repro.guest import GuestAccelerator
+from repro.hv import OptimusHypervisor
+from repro.kernels import encrypt_ecb
+from repro.mem import MB
+from repro.sim.clock import to_us
+
+
+def main() -> None:
+    # 1. The platform: CCI-P shell, UPI + 2x PCIe links, IOMMU, monitor.
+    platform = build_platform(PlatformParams(), n_accelerators=2)
+    hypervisor = OptimusHypervisor(platform)
+
+    # 2. A tenant VM with one virtual AES accelerator.
+    vm = hypervisor.create_vm("tenant0")
+    job = AesJob(functional=True)
+    vaccel = hypervisor.create_virtual_accelerator(vm, job, physical_index=0)
+    accel = GuestAccelerator(hypervisor, vm, vaccel, window_bytes=16 * MB)
+    print(f"virtual accelerator {vaccel.name}: IOVA slice at {vaccel.slice.iova_base:#x}")
+
+    # 3. Guest userspace: buffers, data, registers, go.
+    plaintext = bytes(range(256)) * 64  # 16 KB
+    src = accel.alloc_buffer(len(plaintext))
+    dst = accel.alloc_buffer(len(plaintext))
+    accel.write_buffer(src, plaintext)
+    accel.mmio_write(REG_SRC, src)
+    accel.mmio_write(REG_DST, dst)
+    accel.mmio_write(REG_LEN, len(plaintext))
+    done = accel.start()
+
+    platform.engine.run_until(done)
+    elapsed_us = to_us(platform.engine.now)
+
+    # 4. The accelerator wrote ciphertext into shared memory; check it.
+    ciphertext = accel.read_buffer(dst, len(plaintext))
+    expected = encrypt_ecb(job.key, plaintext)
+    assert ciphertext == expected, "accelerator output mismatch!"
+    print(f"encrypted {len(plaintext)} bytes in {elapsed_us:.1f} simulated us")
+    print(f"first ciphertext block: {ciphertext[:16].hex()}")
+    print("output verified against the host AES implementation — success.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Temporal sharing: three tenants oversubscribe one physical accelerator.
+
+Demonstrates preemptive temporal multiplexing (§4.2, §6.6, §6.8): three
+VMs each own a virtual MemBench accelerator, all bound to the *same*
+physical accelerator.  A weighted scheduler gives the "gold" tenant a
+3x time-slice weight.  The example prints per-tenant accelerator time,
+preemption counts, and verifies the schedule matches the policy.
+
+Run:  python examples/temporal_sharing.py
+"""
+
+from repro import PlatformParams, build_platform
+from repro.accel import MemBenchJob
+from repro.accel.streaming import REG_LEN, REG_PARAM0, REG_PARAM1, REG_SRC
+from repro.guest import GuestAccelerator
+from repro.hv import OptimusHypervisor, WeightedScheduler
+from repro.mem import MB
+from repro.sim.clock import ms
+
+TENANTS = [("gold", 3.0), ("silver", 1.0), ("bronze", 1.0)]
+SLICE_MS = 2.0
+RUN_MS = 60.0
+
+
+def main() -> None:
+    params = PlatformParams(time_slice_ps=ms(SLICE_MS))
+    platform = build_platform(params, n_accelerators=1)
+    hypervisor = OptimusHypervisor(platform)
+
+    weights = {}
+    tenants = []
+    for index, (who, weight) in enumerate(TENANTS):
+        vm = hypervisor.create_vm(who)
+        job = MemBenchJob(functional=False, seed=0xACE + 101 * index,
+                          lines_per_request=64)
+        vaccel = hypervisor.create_virtual_accelerator(vm, job, physical_index=0)
+        weights[vaccel.vaccel_id] = weight
+        accel = GuestAccelerator(hypervisor, vm, vaccel, window_bytes=32 * MB)
+        ws = accel.alloc_buffer(16 * MB)
+        accel.mmio_write(REG_SRC, ws)
+        accel.mmio_write(REG_LEN, 16 * MB)
+        accel.mmio_write(REG_PARAM0, 0)  # random reads
+        accel.mmio_write(REG_PARAM1, 0)  # unbounded
+        accel.start()
+        tenants.append((who, weight, job, vaccel))
+
+    manager = hypervisor.physical[0]
+    manager.scheduler = WeightedScheduler(weights, ms(SLICE_MS))
+    print(f"3 virtual accelerators on 1 physical, {SLICE_MS} ms slices, "
+          f"weights gold=3 silver=1 bronze=1\n")
+
+    platform.run_for(ms(RUN_MS))
+
+    total_busy = sum(va.utilization.current_busy_ps() for _w, _wt, _j, va in tenants)
+    print(f"after {RUN_MS:.0f} simulated ms "
+          f"({manager.context_switches} context switches):")
+    expected = manager.scheduler.expected_shares([va for *_rest, va in tenants])
+    for who, weight, job, vaccel in tenants:
+        share = vaccel.utilization.current_busy_ps() / total_busy
+        print(
+            f"  {who:>6} (w={weight:.0f}): {share:6.1%} of accelerator time "
+            f"(expected {expected[vaccel.vaccel_id]:.1%}), "
+            f"{vaccel.preempt_count} preemptions, "
+            f"{job.ops_done} requests completed"
+        )
+        assert abs(share - expected[vaccel.vaccel_id]) < 0.05
+    print("\nevery tenant was preempted and resumed without losing progress;")
+    print("shares match the weighted policy — temporal multiplexing works.")
+
+
+if __name__ == "__main__":
+    main()

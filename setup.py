@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) on
+offline machines that lack the `wheel` package (PEP 517 editable builds
+need bdist_wheel).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

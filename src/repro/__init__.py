@@ -1,0 +1,51 @@
+"""OPTIMUS reproduction: a hypervisor for shared-memory FPGA platforms.
+
+This package reproduces the ASPLOS 2020 paper *"A Hypervisor for
+Shared-Memory FPGA Platforms"* (Ma et al.) as a full-system, discrete-event
+simulation: the Intel-HARP-like platform (CCI-P shell, UPI + PCIe links,
+IOMMU with a 512-entry set-indexed IOTLB), the OPTIMUS hardware monitor
+(VCU, multiplexer tree, auditors, page table slicing), the hypervisor
+(trap-and-emulate MMIO, shadow paging, preemptive temporal multiplexing),
+a guest driver/userspace stack, and the paper's fourteen benchmark
+accelerators.
+
+Quick start::
+
+    from repro import OptimusHypervisor, PlatformParams, build_platform
+
+    platform = build_platform(PlatformParams(), n_accelerators=2)
+    hypervisor = OptimusHypervisor(platform)
+    vm = hypervisor.create_vm("tenant0")
+    ...
+
+See ``examples/quickstart.py`` for a complete runnable walk-through, and
+``DESIGN.md`` / ``EXPERIMENTS.md`` for the reproduction methodology.
+"""
+
+from repro.platform.builder import Platform, PlatformMode, build_platform
+from repro.platform.params import DEFAULT_PARAMS, PlatformParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "OptimusHypervisor",
+    "PassthroughHypervisor",
+    "Platform",
+    "PlatformMode",
+    "PlatformParams",
+    "build_platform",
+    "__version__",
+]
+
+
+def __getattr__(name):  # lazy re-exports to avoid import cycles at startup
+    if name == "OptimusHypervisor":
+        from repro.hv.hypervisor import OptimusHypervisor
+
+        return OptimusHypervisor
+    if name == "PassthroughHypervisor":
+        from repro.hv.passthrough import PassthroughHypervisor
+
+        return PassthroughHypervisor
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

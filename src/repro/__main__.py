@@ -1,0 +1,69 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro run fig4             # one experiment
+    python -m repro run all              # the whole evaluation section
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+EXPERIMENTS = {
+    "fig1": ("repro.experiments.fig1_sssp", "SSSP: shared-memory vs host-centric"),
+    "table2": ("repro.experiments.table2_resources", "FPGA resource utilization"),
+    "fig4": ("repro.experiments.fig4_overhead", "virtualization overhead vs pass-through"),
+    "fig5": ("repro.experiments.fig5_latency", "LinkedList latency sweeps"),
+    "fig6": ("repro.experiments.fig6_throughput", "MemBench throughput sweeps"),
+    "fig7": ("repro.experiments.fig7_scaling", "real-world benchmark scaling"),
+    "fig8": ("repro.experiments.fig8_temporal", "temporal multiplexing"),
+    "table3": ("repro.experiments.table3_fairness", "spatial-multiplexing fairness"),
+    "table4": ("repro.experiments.table4_colocation", "MemBench co-location"),
+    "sec68": ("repro.experiments.sec68_schedulers", "scheduler policy enforcement"),
+    "ablations": ("repro.experiments.ablations", "mux tree / IOTLB / bandwidth ablations"),
+}
+
+
+def _run_one(key: str) -> None:
+    import importlib
+
+    module_name, _description = EXPERIMENTS[key]
+    module = importlib.import_module(module_name)
+    started = time.time()
+    print(f"### {key}: {module_name} " + "#" * 20)
+    module.main()
+    print(f"[{key} done in {time.time() - started:.1f}s wall]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the OPTIMUS paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    args = parser.parse_args(argv)
+
+    if args.command == "list" or args.command is None:
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (_module, description) in EXPERIMENTS.items():
+            print(f"  {key.ljust(width)}  {description}")
+        print("\nrun with: python -m repro run <experiment|all>")
+        return 0
+
+    if args.experiment == "all":
+        for key in EXPERIMENTS:
+            _run_one(key)
+    else:
+        _run_one(args.experiment)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Accelerator models: Table 1's fourteen benchmarks plus base machinery."""
+
+from repro.accel.aes import AES_PROFILE, AesJob
+from repro.accel.base import (
+    CMD_PREEMPT,
+    CMD_RESUME,
+    CMD_START,
+    CTRL_CMD,
+    CTRL_STATE_ADDR,
+    CTRL_STATE_SIZE,
+    CTRL_STATUS,
+    STATUS_DONE,
+    STATUS_IDLE,
+    STATUS_RUNNING,
+    STATUS_SAVED,
+    AcceleratorJob,
+    AcceleratorProfile,
+    ExecutionContext,
+)
+from repro.accel.btc import BTC_PROFILE, BtcJob
+from repro.accel.filters import GAU_PROFILE, GRS_PROFILE, SBL_PROFILE, GauJob, GrsJob, SblJob
+from repro.accel.fir import FIR_PROFILE, FirJob
+from repro.accel.grn import GRN_PROFILE, GrnJob
+from repro.accel.hostcentric import HostCentricResult, HostCentricSsspRunner
+from repro.accel.linkedlist import LL_PROFILE, LinkedListJob, build_list_image
+from repro.accel.md5 import MD5_PROFILE, Md5Job
+from repro.accel.membench import (
+    MB_PROFILE,
+    MODE_MIXED,
+    MODE_READ,
+    MODE_WRITE,
+    MemBenchJob,
+)
+from repro.accel.registry import (
+    CATALOG,
+    REAL_WORLD,
+    STREAMING,
+    make_job,
+    profile_of,
+    table1_rows,
+)
+from repro.accel.rsd import RSD_PROFILE, RsdJob
+from repro.accel.sha import SHA_PROFILE, Sha512Job
+from repro.accel.sssp import SSSP_PROFILE, SsspJob
+from repro.accel.streaming import (
+    REG_DST,
+    REG_LEN,
+    REG_PARAM0,
+    REG_PARAM1,
+    REG_SRC,
+    StreamingJob,
+)
+from repro.accel.sw import SW_PROFILE, SwJob
+
+__all__ = [
+    "AES_PROFILE",
+    "AcceleratorJob",
+    "AcceleratorProfile",
+    "AesJob",
+    "BTC_PROFILE",
+    "BtcJob",
+    "CATALOG",
+    "CMD_PREEMPT",
+    "CMD_RESUME",
+    "CMD_START",
+    "CTRL_CMD",
+    "CTRL_STATE_ADDR",
+    "CTRL_STATE_SIZE",
+    "CTRL_STATUS",
+    "ExecutionContext",
+    "FIR_PROFILE",
+    "FirJob",
+    "GAU_PROFILE",
+    "GRN_PROFILE",
+    "GRS_PROFILE",
+    "GauJob",
+    "GrnJob",
+    "GrsJob",
+    "HostCentricResult",
+    "HostCentricSsspRunner",
+    "LL_PROFILE",
+    "LinkedListJob",
+    "MB_PROFILE",
+    "MD5_PROFILE",
+    "MODE_MIXED",
+    "MODE_READ",
+    "MODE_WRITE",
+    "Md5Job",
+    "MemBenchJob",
+    "REAL_WORLD",
+    "REG_DST",
+    "REG_LEN",
+    "REG_PARAM0",
+    "REG_PARAM1",
+    "REG_SRC",
+    "RSD_PROFILE",
+    "RsdJob",
+    "SBL_PROFILE",
+    "SHA_PROFILE",
+    "SSSP_PROFILE",
+    "STATUS_DONE",
+    "STATUS_IDLE",
+    "STATUS_RUNNING",
+    "STATUS_SAVED",
+    "STREAMING",
+    "SW_PROFILE",
+    "SblJob",
+    "Sha512Job",
+    "SsspJob",
+    "StreamingJob",
+    "SwJob",
+    "build_list_image",
+    "make_job",
+    "profile_of",
+    "table1_rows",
+]

@@ -1,0 +1,88 @@
+"""The benchmark catalog: Table 1's fourteen accelerators in one place.
+
+Each entry couples the paper's static data (description, lines of
+Verilog, synthesis frequency — Table 1; single-instance resource
+footprint — Table 2's pass-through column) with the job class that
+models the circuit.  Experiments and examples look benchmarks up here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.accel.aes import AES_PROFILE, AesJob
+from repro.accel.base import AcceleratorJob, AcceleratorProfile
+from repro.accel.btc import BTC_PROFILE, BtcJob
+from repro.accel.filters import (
+    GAU_PROFILE,
+    GRS_PROFILE,
+    SBL_PROFILE,
+    GauJob,
+    GrsJob,
+    SblJob,
+)
+from repro.accel.fir import FIR_PROFILE, FirJob
+from repro.accel.grn import GRN_PROFILE, GrnJob
+from repro.accel.linkedlist import LL_PROFILE, LinkedListJob
+from repro.accel.md5 import MD5_PROFILE, Md5Job
+from repro.accel.membench import MB_PROFILE, MemBenchJob
+from repro.accel.rsd import RSD_PROFILE, RsdJob
+from repro.accel.sha import SHA_PROFILE, Sha512Job
+from repro.accel.sssp import SSSP_PROFILE, SsspJob
+from repro.accel.sw import SW_PROFILE, SwJob
+from repro.errors import ConfigurationError
+
+JobFactory = Callable[..., AcceleratorJob]
+
+#: name -> (profile, job class), in Table 1 order.
+CATALOG: Dict[str, tuple] = {
+    "AES": (AES_PROFILE, AesJob),
+    "MD5": (MD5_PROFILE, Md5Job),
+    "SHA": (SHA_PROFILE, Sha512Job),
+    "FIR": (FIR_PROFILE, FirJob),
+    "GRN": (GRN_PROFILE, GrnJob),
+    "RSD": (RSD_PROFILE, RsdJob),
+    "SW": (SW_PROFILE, SwJob),
+    "GAU": (GAU_PROFILE, GauJob),
+    "GRS": (GRS_PROFILE, GrsJob),
+    "SBL": (SBL_PROFILE, SblJob),
+    "SSSP": (SSSP_PROFILE, SsspJob),
+    "BTC": (BTC_PROFILE, BtcJob),
+    "MB": (MB_PROFILE, MemBenchJob),
+    "LL": (LL_PROFILE, LinkedListJob),
+}
+
+#: The twelve "real-world" benchmarks (everything but the microbenchmarks).
+REAL_WORLD = [name for name in CATALOG if name not in ("MB", "LL")]
+
+#: The streaming subset used for simple aggregate-throughput experiments.
+STREAMING = ["AES", "MD5", "SHA", "FIR", "RSD", "SW", "GAU", "GRS", "SBL"]
+
+
+def profile_of(name: str) -> AcceleratorProfile:
+    try:
+        return CATALOG[name][0]
+    except KeyError:
+        raise ConfigurationError(f"unknown benchmark {name!r}") from None
+
+
+def make_job(name: str, **kwargs) -> AcceleratorJob:
+    """Instantiate a fresh job for a benchmark by catalog name."""
+    try:
+        _profile, factory = CATALOG[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown benchmark {name!r}") from None
+    return factory(**kwargs)
+
+
+def table1_rows() -> List[dict]:
+    """Table 1 of the paper: app, description, LoC, frequency."""
+    return [
+        {
+            "app": name,
+            "description": profile.description,
+            "loc": profile.loc_verilog,
+            "freq_mhz": profile.freq_mhz,
+        }
+        for name, (profile, _factory) in CATALOG.items()
+    ]

@@ -1,0 +1,148 @@
+"""The cloud provider: placement of tenant jobs onto a configured FPGA.
+
+Ties the whole reproduction together at the paper's deployment altitude
+(§3): the provider synthesizes an :class:`FpgaConfiguration`, boots an
+OPTIMUS platform for it, and serves tenant requests ("I want an AES
+accelerator") by placing each on a physical slot of the right type —
+spatially while free slots of that type exist, temporally (oversubscribing
+the least-loaded slot) once they run out.  Tenants receive an ordinary
+:class:`~repro.guest.api.GuestAccelerator` handle and never see placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cloud.library import AcceleratorLibrary, FpgaConfiguration
+from repro.errors import ConfigurationError, SchedulerError
+from repro.guest.api import GuestAccelerator
+from repro.hv.hypervisor import OptimusHypervisor
+from repro.hv.mdev import VirtualAccelerator
+from repro.mem.address import GB, MB
+from repro.platform.builder import Platform, build_platform
+from repro.platform.params import PlatformParams
+
+
+@dataclass
+class Tenant:
+    """One placed customer: their VM, handle, and placement facts."""
+
+    name: str
+    accel_type: str
+    physical_index: int
+    vaccel: VirtualAccelerator
+    handle: GuestAccelerator
+
+    @property
+    def oversubscribed(self) -> bool:
+        manager = self.handle.hypervisor.physical[self.physical_index]
+        return len(manager.vaccels) > 1
+
+
+class CloudProvider:
+    """Runs one OPTIMUS FPGA and places tenants onto it."""
+
+    def __init__(
+        self,
+        configuration: FpgaConfiguration,
+        *,
+        params: Optional[PlatformParams] = None,
+        library: Optional[AcceleratorLibrary] = None,
+    ) -> None:
+        self.configuration = configuration
+        self.library = library or AcceleratorLibrary()
+        self.params = params or PlatformParams()
+        self.platform: Platform = build_platform(
+            self.params, n_accelerators=configuration.n_slots
+        )
+        self.hypervisor = OptimusHypervisor(self.platform)
+        self.tenants: List[Tenant] = []
+
+    # -- placement -----------------------------------------------------------------
+
+    def _occupancy(self, physical_index: int) -> int:
+        return len(self.hypervisor.physical[physical_index].vaccels)
+
+    def place(
+        self,
+        tenant_name: str,
+        accel_type: str,
+        *,
+        window_bytes: int = 64 * MB,
+        vm_bytes: int = 10 * GB,
+        job_kwargs: Optional[dict] = None,
+    ) -> Tenant:
+        """Admit a tenant requesting one accelerator of ``accel_type``.
+
+        Spatial first: an empty slot of the right type.  Then temporal:
+        the least-oversubscribed slot of that type.  Rejected only if the
+        configuration carries no slot of the type at all.
+        """
+        candidates = self.configuration.slots_of_type(accel_type)
+        if not candidates:
+            raise SchedulerError(
+                f"configuration has no {accel_type!r} slot; "
+                f"available: {sorted(set(self.configuration.slots))}"
+            )
+        physical_index = min(candidates, key=self._occupancy)
+
+        job = self.library.make_job(accel_type, **(job_kwargs or {}))
+        vm = self.hypervisor.create_vm(tenant_name, mem_bytes=vm_bytes)
+        vaccel = self.hypervisor.create_virtual_accelerator(
+            vm, job, physical_index=physical_index
+        )
+        handle = GuestAccelerator(self.hypervisor, vm, vaccel, window_bytes=window_bytes)
+        tenant = Tenant(
+            name=tenant_name,
+            accel_type=accel_type,
+            physical_index=physical_index,
+            vaccel=vaccel,
+            handle=handle,
+        )
+        self.tenants.append(tenant)
+        return tenant
+
+    def evict(self, tenant: Tenant) -> None:
+        """Remove a tenant, releasing its slot share and IOVA slice."""
+        if tenant not in self.tenants:
+            raise ConfigurationError(f"unknown tenant {tenant.name}")
+        tenant.handle.disconnect()
+        self.tenants.remove(tenant)
+
+    def rebalance(self) -> int:
+        """Spread oversubscribed slots onto empty same-type slots (§7.1).
+
+        Uses live migration; returns how many tenants moved.
+        """
+        moved = 0
+        for accel_type in set(self.configuration.slots):
+            slots = self.configuration.slots_of_type(accel_type)
+            while True:
+                loads = {slot: self._occupancy(slot) for slot in slots}
+                busiest = max(slots, key=lambda s: loads[s])
+                idlest = min(slots, key=lambda s: loads[s])
+                if loads[busiest] - loads[idlest] < 2:
+                    break
+                manager = self.hypervisor.physical[busiest]
+                candidates = [va for va in manager.vaccels if va is not manager.current]
+                mover = candidates[0] if candidates else manager.vaccels[0]
+                done = self.hypervisor.migrate_virtual_accelerator(mover, idlest)
+                self.platform.engine.run_until(
+                    done, limit_ps=self.platform.engine.now + self.params.time_slice_ps * 4
+                )
+                moved += 1
+        return moved
+
+    # -- reporting ------------------------------------------------------------------
+
+    def occupancy_report(self) -> Dict[int, Dict[str, object]]:
+        report: Dict[int, Dict[str, object]] = {}
+        for index, accel_type in enumerate(self.configuration.slots):
+            manager = self.hypervisor.physical[index]
+            report[index] = {
+                "type": accel_type,
+                "tenants": [va.name for va in manager.vaccels],
+                "oversubscription": len(manager.vaccels),
+            }
+        return report

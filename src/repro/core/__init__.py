@@ -1,0 +1,45 @@
+"""OPTIMUS's core contribution: the hardware monitor and page table slicing."""
+
+from repro.core.auditor import Auditor
+from repro.core.monitor import HardwareMonitor
+from repro.core.mux_tree import AsymmetricMuxTree, MuxNode, MuxTree
+from repro.core.slicing import Slice, SliceLayout, default_layout
+from repro.core.vcu import (
+    ACCEL_PAGE_BYTES,
+    MGMT_PAGE_BYTES,
+    REG_ACCEL_SELECT,
+    REG_DISABLE,
+    REG_MAGIC,
+    REG_NUM_ACCELS,
+    REG_RESET,
+    REG_SLICE_BASE,
+    REG_WINDOW_BASE,
+    REG_WINDOW_SIZE,
+    VCU_MAGIC,
+    VirtualizationControlUnit,
+    accel_mmio_base,
+)
+
+__all__ = [
+    "ACCEL_PAGE_BYTES",
+    "AsymmetricMuxTree",
+    "Auditor",
+    "HardwareMonitor",
+    "MGMT_PAGE_BYTES",
+    "MuxNode",
+    "MuxTree",
+    "REG_ACCEL_SELECT",
+    "REG_DISABLE",
+    "REG_MAGIC",
+    "REG_NUM_ACCELS",
+    "REG_RESET",
+    "REG_SLICE_BASE",
+    "REG_WINDOW_BASE",
+    "REG_WINDOW_SIZE",
+    "Slice",
+    "SliceLayout",
+    "VCU_MAGIC",
+    "VirtualizationControlUnit",
+    "accel_mmio_base",
+    "default_layout",
+]

@@ -1,0 +1,300 @@
+"""The multiplexer tree (§4.1, §5).
+
+The tree carries packets between the shell and the physical accelerators.
+Design properties taken from the paper:
+
+* **Round-robin arbitration per node** — equal bandwidth for every
+  accelerator on the same path, the mechanism behind §6.7's fairness.
+* **No address-based routing** — the tree propagates blindly; auditors at
+  the leaves decide (lazy packet routing).
+* **~33 ns latency per level** — Fig. 4a's 100 ns adder for the
+  three-level binary tree.
+* **One packet per node per cycle** — together with the leaf-side issue
+  throttle, this is why an OPTIMUS accelerator "can only transmit a memory
+  request packet every two cycles" (§6.3).
+
+Asymmetric trees are supported: "if cloud providers seek to provide
+greater bandwidth to some accelerator A, the multiplexer tree can be
+configured to place fewer accelerators under the multiplexers on A's
+path" (§4.1) — build with an explicit topology list to do that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.interconnect.channel_selector import VirtualChannel
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.sim.packet import CACHE_LINE_BYTES, Packet, PacketKind
+from repro.sim.port import RoundRobinArbiter
+
+#: What flows through the tree: the packet, its virtual channel, and the
+#: response continuation that eventually reaches the issuing auditor.
+TreeItem = Tuple[Packet, VirtualChannel, Callable[[Optional[Packet]], None]]
+
+#: The tree's root output: delivers the item to the VCU/shell.
+RootEgress = Callable[[Packet, VirtualChannel, Callable[[Optional[Packet]], None]], None]
+
+
+def _item_cycles(item: TreeItem) -> int:
+    packet = item[0]
+    return max(1, (packet.size + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES)
+
+
+#: Root-pacing weight for write requests.  CCI-P carries writes on their
+#: own Tx channel (C1) with separate credits; the root's *read* pacing
+#: models downstream-link acceptance, so writes only pay a token slot.
+WRITE_ROOT_WEIGHT = 0.2
+
+
+class MuxNode:
+    """One r-input multiplexer stage with round-robin arbitration.
+
+    ``cost_per_line_cycles`` > 1 models a rate-paced node: the tree's root
+    can only hand the shell requests as fast as the interconnect accepts
+    them, which makes the root's round-robin the platform's bandwidth
+    allocator — the property behind §6.7's fairness guarantees.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        radix: int,
+        *,
+        clock: Clock,
+        level_latency_ps: int,
+        forward: Callable[[TreeItem], None],
+        cost_per_line_cycles: float = 1.0,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.level_latency_ps = level_latency_ps
+        self._forward = forward
+        scale = cost_per_line_cycles
+
+        def cost(item: TreeItem) -> float:
+            lines = _item_cycles(item)
+            if scale > 1.0 and item[0].kind is PacketKind.DMA_WRITE_REQ:
+                # Rate-paced root: writes ride the separate C1 channel.
+                return max(1.0, lines * scale * WRITE_ROOT_WEIGHT)
+            return lines * scale
+
+        self.arbiter = RoundRobinArbiter(
+            engine,
+            name,
+            n_inputs=radix,
+            period_ps=clock.period_ps,
+            grant=self._on_grant,
+            cost_cycles=cost,
+        )
+
+    def push(self, input_index: int, item: TreeItem) -> None:
+        self.arbiter.push(input_index, item)
+
+    def _on_grant(self, _input_index: int, item: TreeItem) -> None:
+        # Each tree level adds its pipeline latency on the request path.
+        self.engine.call_after(self.level_latency_ps, self._forward, item)
+
+
+class MuxTree:
+    """A complete multiplexer hierarchy with N leaf ports."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_leaves: int,
+        *,
+        radix: int,
+        clock: Clock,
+        level_latency_ps: int,
+        root_egress: RootEgress,
+        root_cost_per_line_cycles: float = 1.0,
+    ) -> None:
+        if n_leaves < 1:
+            raise ConfigurationError("mux tree needs at least one leaf")
+        if radix < 2:
+            raise ConfigurationError("mux radix must be >= 2")
+        self.engine = engine
+        self.n_leaves = n_leaves
+        self.radix = radix
+        self.levels = max(1, math.ceil(math.log(max(n_leaves, 2), radix)))
+        self.root_egress = root_egress
+        self._root_cost = root_cost_per_line_cycles
+
+        # Build bottom-up.  Level 0 nodes take leaves; each higher level
+        # multiplexes the nodes below; the single top node feeds the root.
+        self._levels: List[List[MuxNode]] = []
+        width = radix**self.levels  # leaf slots including unused ones
+        below = width
+        for level in range(self.levels):
+            count = below // radix
+            nodes: List[MuxNode] = []
+            for node_index in range(count):
+                nodes.append(self._make_node(level, node_index, clock, level_latency_ps))
+            self._levels.append(nodes)
+            below = count
+        assert len(self._levels[-1]) == 1, "tree must converge to a single root"
+
+    def _make_node(
+        self, level: int, node_index: int, clock: Clock, level_latency_ps: int
+    ) -> MuxNode:
+        if level + 1 < self.levels:
+            def forward(item: TreeItem, lvl: int = level, idx: int = node_index) -> None:
+                parent = self._levels[lvl + 1][idx // self.radix]
+                parent.push(idx % self.radix, item)
+        else:
+            def forward(item: TreeItem) -> None:
+                packet, channel, on_response = item
+                self.root_egress(packet, channel, on_response)
+
+        is_root = level + 1 == self.levels
+        return MuxNode(
+            self.engine,
+            f"mux.L{level}.{node_index}",
+            self.radix,
+            clock=clock,
+            level_latency_ps=level_latency_ps,
+            forward=forward,
+            cost_per_line_cycles=self._root_cost if is_root else 1.0,
+        )
+
+    # -- leaf-side API -----------------------------------------------------------
+
+    def leaf_ingress(self, leaf_index: int) -> Callable[..., None]:
+        """The ingress function for one leaf (wired to an auditor)."""
+        if not 0 <= leaf_index < self.n_leaves:
+            raise ConfigurationError(f"leaf {leaf_index} out of range")
+        node = self._levels[0][leaf_index // self.radix]
+        input_index = leaf_index % self.radix
+
+        def ingress(
+            packet: Packet,
+            channel: VirtualChannel,
+            on_response: Callable[[Optional[Packet]], None],
+        ) -> None:
+            node.push(input_index, (packet, channel, on_response))
+
+        return ingress
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(nodes) for nodes in self._levels)
+
+    @property
+    def request_path_latency_ps(self) -> int:
+        """Pure pipeline latency from a leaf to the root (no queueing)."""
+        return self.levels * self._levels[0][0].level_latency_ps
+
+
+#: An asymmetric-topology spec: a (nested) list whose items are either leaf
+#: indices (ints) or sub-lists (subtrees).  ``[0, [1, 2]]`` hangs leaf 0
+#: directly off the root while leaves 1 and 2 share a child multiplexer —
+#: leaf 0 then receives half the root bandwidth, 1 and 2 a quarter each.
+TopologySpec = list
+
+
+class AsymmetricMuxTree:
+    """A multiplexer hierarchy with an explicit, possibly uneven topology.
+
+    §4.1: "if cloud providers seek to provide greater bandwidth to some
+    accelerator A, the multiplexer tree can be configured to place fewer
+    accelerators under the multiplexers on A's path."  Each node still
+    arbitrates round-robin among its direct children, so a leaf's share
+    of root bandwidth is the product of 1/fan-in along its path.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: TopologySpec,
+        *,
+        clock: Clock,
+        level_latency_ps: int,
+        root_egress: RootEgress,
+        root_cost_per_line_cycles: float = 1.0,
+    ) -> None:
+        if not isinstance(topology, list) or not topology:
+            raise ConfigurationError("topology must be a non-empty list")
+        self.engine = engine
+        self.root_egress = root_egress
+        self._clock = clock
+        self._level_latency_ps = level_latency_ps
+        self._root_cost = root_cost_per_line_cycles
+        self._ingress: dict = {}
+        self._node_count = 0
+        self.nodes: List[MuxNode] = []
+
+        def root_forward(item: TreeItem) -> None:
+            packet, channel, on_response = item
+            self.root_egress(packet, channel, on_response)
+
+        self._build_node(topology, root_forward, depth=1)
+        self.n_leaves = len(self._ingress)
+        if self.n_leaves == 0:
+            raise ConfigurationError("topology has no leaves")
+
+    def _build_node(self, spec: TopologySpec, forward, depth: int) -> MuxNode:
+        node = MuxNode(
+            self.engine,
+            f"amux.d{depth}.{self._node_count}",
+            radix=len(spec),
+            clock=self._clock,
+            level_latency_ps=self._level_latency_ps,
+            forward=forward,
+            cost_per_line_cycles=self._root_cost if depth == 1 else 1.0,
+        )
+        self.nodes.append(node)
+        self._node_count += 1
+        for input_index, child in enumerate(spec):
+            if isinstance(child, list):
+                def child_forward(item: TreeItem, n=node, i=input_index) -> None:
+                    n.push(i, item)
+
+                self._build_node(child, child_forward, depth + 1)
+            else:
+                if child in self._ingress:
+                    raise ConfigurationError(f"leaf {child} appears twice")
+                self._leaf(node, input_index, int(child))
+        return node
+
+    def _leaf(self, node: MuxNode, input_index: int, leaf_id: int) -> None:
+        def ingress(
+            packet: Packet,
+            channel: VirtualChannel,
+            on_response: Callable[[Optional[Packet]], None],
+        ) -> None:
+            node.push(input_index, (packet, channel, on_response))
+
+        self._ingress[leaf_id] = ingress
+
+    def leaf_ingress(self, leaf_index: int) -> Callable[..., None]:
+        try:
+            return self._ingress[leaf_index]
+        except KeyError:
+            raise ConfigurationError(f"leaf {leaf_index} not in topology") from None
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def depth_of(self, leaf_index: int, topology: TopologySpec) -> int:
+        """Levels between a leaf and the root (for latency accounting)."""
+
+        def search(spec: TopologySpec, depth: int) -> Optional[int]:
+            for child in spec:
+                if isinstance(child, list):
+                    found = search(child, depth + 1)
+                    if found is not None:
+                        return found
+                elif child == leaf_index:
+                    return depth
+            return None
+
+        found = search(topology, 1)
+        if found is None:
+            raise ConfigurationError(f"leaf {leaf_index} not in topology")
+        return found

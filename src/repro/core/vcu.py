@@ -1,0 +1,127 @@
+"""The Virtualization Control Unit (§4.1).
+
+The VCU is the hardware monitor's management core.  It exposes a 4 KB
+accelerator-management MMIO page through which the hypervisor:
+
+* reads the FPGA configuration (number of physical accelerators, an
+  OPTIMUS-compatibility magic);
+* programs the **offset table** — per-accelerator (window base, window
+  size, IOVA slice base) triples implementing page table slicing;
+* programs the **reset table** — pulsing an accelerator's reset line to
+  clear state on a VM context switch.
+
+MMIO packets falling inside the management window are intercepted by the
+VCU; everything above it is forwarded toward the per-accelerator MMIO
+pages, where the target accelerator's auditor enforces the 4 KB bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.auditor import Auditor
+from repro.errors import MmioFault
+from repro.fpga.afu import AfuSocket, RegisterFile
+
+#: Size of the VCU management window and of each accelerator's MMIO page.
+MGMT_PAGE_BYTES = 0x1000
+ACCEL_PAGE_BYTES = 0x1000
+
+# Management-register offsets (within the VCU page).
+REG_MAGIC = 0x000
+REG_NUM_ACCELS = 0x008
+REG_ACCEL_SELECT = 0x010  # which accelerator the table registers address
+REG_WINDOW_BASE = 0x018  # g   (guest DMA window base)
+REG_WINDOW_SIZE = 0x020  # p   (window length)
+REG_SLICE_BASE = 0x028  # i   (IOVA slice base); commits the offset entry
+REG_RESET = 0x030  # write accel index: pulse its reset line
+REG_DISABLE = 0x038  # write accel index: disable its auditor
+
+VCU_MAGIC = 0x564355_2020
+
+
+class VirtualizationControlUnit:
+    """Management interface + MMIO router of the hardware monitor."""
+
+    def __init__(self, auditors: List[Auditor], sockets: List[AfuSocket]) -> None:
+        if len(auditors) != len(sockets):
+            raise MmioFault("auditor/socket count mismatch")
+        self.auditors = auditors
+        self.sockets = sockets
+        self.registers = RegisterFile("vcu")
+        self._selected = 0
+        self._pending: Dict[int, Dict[str, int]] = {}
+        self._define_registers()
+
+    def _define_registers(self) -> None:
+        regs = self.registers
+        regs.define(REG_MAGIC, on_read=lambda: VCU_MAGIC)
+        regs.define(REG_NUM_ACCELS, on_read=lambda: len(self.auditors))
+        regs.define(REG_ACCEL_SELECT, on_write=self._select)
+        regs.define(REG_WINDOW_BASE, on_write=lambda v: self._stage("base", v))
+        regs.define(REG_WINDOW_SIZE, on_write=lambda v: self._stage("size", v))
+        regs.define(REG_SLICE_BASE, on_write=self._commit_offset_entry)
+        regs.define(REG_RESET, on_write=self._pulse_reset)
+        regs.define(REG_DISABLE, on_write=self._disable)
+
+    # -- register semantics ---------------------------------------------------
+
+    def _check_index(self, index: int) -> int:
+        if not 0 <= index < len(self.auditors):
+            raise MmioFault(f"accelerator index {index} out of range")
+        return index
+
+    def _select(self, value: int) -> None:
+        self._selected = self._check_index(value)
+
+    def _stage(self, field: str, value: int) -> None:
+        self._pending.setdefault(self._selected, {})[field] = value
+
+    def _commit_offset_entry(self, slice_base: int) -> None:
+        staged = self._pending.pop(self._selected, {})
+        auditor = self.auditors[self._selected]
+        auditor.configure_window(
+            gva_base=staged.get("base", 0),
+            window_size=staged.get("size", 0),
+            iova_base=slice_base,
+        )
+
+    def _pulse_reset(self, value: int) -> None:
+        index = self._check_index(value)
+        self.sockets[index].reset()
+
+    def _disable(self, value: int) -> None:
+        index = self._check_index(value)
+        self.auditors[index].disable()
+
+    # -- MMIO routing ----------------------------------------------------------------
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        if offset < MGMT_PAGE_BYTES:
+            self.registers.write(offset, value)
+            return
+        index, page_offset = self._route(offset)
+        if index is None:
+            return  # outside every accelerator page: silently discarded
+        self.auditors[index].mmio_write(page_offset, value)
+
+    def mmio_read(self, offset: int) -> int:
+        if offset < MGMT_PAGE_BYTES:
+            return self.registers.read(offset)
+        index, page_offset = self._route(offset)
+        if index is None:
+            return 0  # reads of unmapped space return zeros, like real BARs
+        value = self.auditors[index].mmio_read(page_offset)
+        return 0 if value is None else value
+
+    def _route(self, offset: int) -> tuple[Optional[int], int]:
+        index = (offset - MGMT_PAGE_BYTES) // ACCEL_PAGE_BYTES
+        page_offset = (offset - MGMT_PAGE_BYTES) % ACCEL_PAGE_BYTES
+        if not 0 <= index < len(self.auditors):
+            return None, 0
+        return index, page_offset
+
+
+def accel_mmio_base(accel_index: int) -> int:
+    """Offset of an accelerator's MMIO page within the monitor's window."""
+    return MGMT_PAGE_BYTES + accel_index * ACCEL_PAGE_BYTES

@@ -1,0 +1,26 @@
+"""One module per paper table/figure, plus the shared harness.
+
+Each module exposes ``run(...) -> ResultTable`` (or a dict of tables) and
+a ``main()`` that prints paper-style output; ``python -m
+repro.experiments.<module>`` regenerates the result from the terminal.
+The pytest-benchmark targets under ``benchmarks/`` call the same ``run``
+functions with trimmed parameters.
+"""
+
+from repro.experiments.harness import (
+    ENDLESS,
+    LaunchedJob,
+    OptimusStack,
+    PassthroughStack,
+    ResultTable,
+    measure_progress,
+)
+
+__all__ = [
+    "ENDLESS",
+    "LaunchedJob",
+    "OptimusStack",
+    "PassthroughStack",
+    "ResultTable",
+    "measure_progress",
+]

@@ -1,0 +1,104 @@
+"""Fig. 7 — scalability of spatial multiplexing for real-world benchmarks.
+
+Eight instances of a benchmark occupy the FPGA; 1, 2, 4, then 8 of them
+run concurrent jobs.  The metric is aggregate throughput normalized to a
+single job.  Expected shape (paper §6.4): compute-light benchmarks scale
+near-linearly to ~7-8x; the interconnect-hungry quartet GAU, GRS, SBL,
+SSSP (and the parallel-lane MD5) saturate the links and plateau between
+~2x and ~4x — the aggregate improvement across the twelve real-world
+benchmarks spans 1.98x-7x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.accel.registry import REAL_WORLD
+from repro.experiments.harness import OptimusStack, ResultTable, measure_progress
+from repro.kernels.graph import random_graph
+from repro.mem import MB
+from repro.platform import PlatformParams
+from repro.sim.clock import us
+
+JOB_COUNTS = [1, 2, 4, 8]
+
+#: Benchmarks the paper singles out as saturating the interconnect.
+PAPER_SATURATING = ("GAU", "GRS", "SBL", "SSSP")
+
+
+def aggregate_rate(
+    name: str,
+    n_jobs: int,
+    *,
+    working_set: int = 32 * MB,
+    window_us_: int = 120,
+) -> float:
+    stack = OptimusStack(PlatformParams(), n_accelerators=8)
+    jobs = []
+    for index in range(n_jobs):
+        job_kwargs = {"functional": False}
+        graph = None
+        if name == "SSSP":
+            # A denser graph + deep vertex pipeline put SSSP in its
+            # steady, bandwidth-hungry regime (the paper's SSSP working
+            # sets are 2-32 GB and saturate the interconnect, Fig. 7).
+            graph = random_graph(30_000, 480_000, seed=7 + index)
+            job_kwargs["pipeline_depth"] = 32
+        jobs.append(
+            stack.launch(
+                name,
+                physical_index=index,
+                working_set=working_set,
+                graph=graph,
+                job_kwargs=job_kwargs,
+            )
+        )
+    # SSSP needs a longer warm-up: its frontier ramps over the first few
+    # hundred microseconds before the edge engine reaches steady state.
+    warmup = us(400) if name == "SSSP" else us(100)
+    rates = measure_progress(
+        stack, jobs, warmup_ps=warmup, window_ps=us(window_us_), in_bytes=False
+    )
+    return sum(rates)
+
+
+def run(
+    *,
+    benchmarks: Optional[List[str]] = None,
+    job_counts: Optional[List[int]] = None,
+) -> ResultTable:
+    benchmarks = benchmarks or REAL_WORLD
+    job_counts = job_counts or JOB_COUNTS
+    table = ResultTable(
+        "Fig. 7 — aggregate throughput, normalized to 1 job",
+        ["benchmark"] + [f"{n}_jobs" for n in job_counts],
+    )
+    for name in benchmarks:
+        single = aggregate_rate(name, 1)
+        row: List[object] = [name]
+        for n_jobs in job_counts:
+            if n_jobs == 1:
+                row.append(1.0)
+            else:
+                row.append(aggregate_rate(name, n_jobs) / single if single else 0.0)
+        table.add(*row)
+    table.note("paper: GAU/GRS/SBL/SSSP saturate past 4 jobs; range 1.98x-7x at 8")
+    return table
+
+
+def speedup_range(table: ResultTable) -> Dict[str, float]:
+    eight = {row[0]: float(row[-1]) for row in table.rows}
+    return {"min": min(eight.values()), "max": max(eight.values())}
+
+
+def main() -> None:
+    from repro.experiments.plotting import show_chart
+
+    table = run()
+    table.show()
+    show_chart(table, y_label="normalized throughput")
+    print("speedup range at 8 jobs:", speedup_range(table))
+
+
+if __name__ == "__main__":
+    main()

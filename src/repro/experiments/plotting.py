@@ -1,0 +1,101 @@
+"""Terminal rendering of figure series (no plotting dependencies).
+
+The paper's figures are line/bar charts; offline reproduction should not
+require matplotlib, so :func:`ascii_chart` renders a
+:class:`~repro.experiments.harness.ResultTable` whose first column is the
+x-axis and whose remaining columns are series, as a fixed-height ASCII
+chart.  Experiment ``main()``s print these after their tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.experiments.harness import ResultTable
+
+#: Glyphs assigned to series, in column order.
+SERIES_GLYPHS = "*o+x@#%&"
+
+
+def _format_value(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}"
+    return f"{value:.4g}"
+
+
+def ascii_chart(
+    table: ResultTable,
+    *,
+    height: int = 12,
+    width_per_point: int = 7,
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render a ResultTable as an ASCII chart (rows = x, columns = series)."""
+    x_labels = [str(row[0]) for row in table.rows]
+    series_names = table.columns[1:]
+    series: List[List[Optional[float]]] = []
+    for column_index in range(1, len(table.columns)):
+        values = []
+        for row in table.rows:
+            value = row[column_index]
+            try:
+                number = float(value)
+                values.append(None if math.isnan(number) else number)
+            except (TypeError, ValueError):
+                values.append(None)
+        series.append(values)
+
+    flat = [v for s in series for v in s if v is not None]
+    if not flat:
+        return f"{table.title}\n(no numeric data)"
+    lo, hi = min(flat), max(flat)
+    if log_y:
+        lo = max(lo, 1e-12)
+        transform = lambda v: math.log10(max(v, 1e-12))
+        lo_t, hi_t = transform(lo), transform(hi)
+    else:
+        transform = lambda v: v
+        lo_t, hi_t = lo, hi
+    if hi_t == lo_t:
+        hi_t = lo_t + 1.0
+
+    def row_of(value: float) -> int:
+        fraction = (transform(value) - lo_t) / (hi_t - lo_t)
+        return min(height - 1, max(0, round(fraction * (height - 1))))
+
+    grid = [[" "] * (len(x_labels) * width_per_point) for _ in range(height)]
+    for series_index, values in enumerate(series):
+        glyph = SERIES_GLYPHS[series_index % len(SERIES_GLYPHS)]
+        for point_index, value in enumerate(values):
+            if value is None:
+                continue
+            column = point_index * width_per_point + width_per_point // 2
+            grid[height - 1 - row_of(value)][column] = glyph
+
+    lines = [table.title]
+    top_label = _format_value(hi).rjust(9)
+    bottom_label = _format_value(lo).rjust(9)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label + " |"
+        elif row_index == height - 1:
+            prefix = bottom_label + " |"
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    axis = " " * 9 + " +" + "-" * (len(x_labels) * width_per_point)
+    lines.append(axis)
+    labels = " " * 11 + "".join(label.center(width_per_point) for label in x_labels)
+    lines.append(labels)
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(series_names)
+    )
+    lines.append(" " * 11 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def show_chart(table: ResultTable, **kwargs) -> None:
+    print("\n" + ascii_chart(table, **kwargs) + "\n")

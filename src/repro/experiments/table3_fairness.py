@@ -1,0 +1,75 @@
+"""Table 3 — fairness of spatial multiplexing, homogeneous configurations.
+
+Eight instances of the same accelerator run concurrently; the metric is
+the *normalized throughput range*: (max - min) / mean per-accelerator
+throughput.  The paper reports at most ~1% (reported in units of 1e-4),
+i.e. every accelerator gets essentially exactly 1/8 of the aggregate —
+the direct consequence of round-robin arbitration in the multiplexer
+tree over closed-loop requesters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.harness import OptimusStack, ResultTable, measure_progress
+from repro.kernels.graph import random_graph
+from repro.mem import MB
+from repro.platform import PlatformParams
+from repro.sim.clock import us
+from repro.sim.stats import normalized_range
+
+PAPER_RANGE_1E4 = {
+    "AES": 21.9, "MD5": 11.9, "SHA": 4.40, "FIR": 30.1, "GRN": 108,
+    "RSD": 1.77, "SW": 3.79, "GAU": 63.1, "GRS": 1.60, "SBL": 147,
+    "SSSP": 595, "BTC": 0.468, "MB": 1.83, "LL": 3.25,
+}
+
+DEFAULT_BENCHMARKS = list(PAPER_RANGE_1E4)
+
+
+def run(
+    *,
+    benchmarks: Optional[List[str]] = None,
+    working_set: int = 32 * MB,
+    window_us: int = 600,
+) -> ResultTable:
+    table = ResultTable(
+        "Table 3 — normalized throughput range among 8 homogeneous accelerators",
+        ["benchmark", "range_1e-4", "paper_1e-4", "mean_rate"],
+    )
+    for name in benchmarks or DEFAULT_BENCHMARKS:
+        stack = OptimusStack(PlatformParams(), n_accelerators=8)
+        graph = random_graph(20_000, 160_000, seed=5) if name == "SSSP" else None
+        jobs = []
+        for index in range(8):
+            job_kwargs: Dict[str, object] = {"functional": False}
+            if name in ("MB", "LL"):
+                job_kwargs["seed"] = 0x1234_5678 + index * 7919
+            if name == "LL":
+                job_kwargs["target_hops"] = 1 << 40
+            jobs.append(
+                stack.launch(
+                    name,
+                    physical_index=index,
+                    working_set=working_set,
+                    graph=graph,
+                    job_kwargs=job_kwargs,
+                )
+            )
+        rates = measure_progress(
+            stack, jobs, warmup_ps=us(120), window_ps=us(window_us), in_bytes=False
+        )
+        spread = normalized_range([float(r) for r in rates])
+        mean = sum(rates) / len(rates)
+        table.add(name, spread * 1e4, PAPER_RANGE_1E4[name], mean)
+    table.note("range = (max-min)/mean of per-accelerator throughput, x1e-4")
+    return table
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,313 @@
+"""Accelerator Functional Unit (AFU) plumbing.
+
+An AFU socket is one *physical accelerator* slot on the FPGA: a register
+file reachable over MMIO, a DMA engine that issues CCI-P requests, a reset
+line, and a clock domain.  Behavioral accelerator models from
+:mod:`repro.accel` run *in* a socket; the hardware monitor (or, for the
+pass-through baseline, the shell directly) sits between the socket's DMA
+engine and system memory.
+
+The DMA engine models the two properties that shape every throughput
+number in the paper:
+
+* **closed-loop issue** — a real CCI-P master has a bounded number of
+  outstanding requests; fairness between accelerators emerges from this
+  plus round-robin arbitration, not from any explicit bandwidth reservation;
+* **issue throttling** — under OPTIMUS the multiplexer tree accepts one
+  request every two cycles from each accelerator (§6.3), under pass-through
+  one per cycle.  When the IOMMU reports a speculative same-region streak
+  the throttle relaxes to back-to-back issue, reproducing §6.5's anomaly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, MmioFault
+from repro.interconnect.channel_selector import VirtualChannel
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine, Future
+from repro.sim.packet import (
+    CACHE_LINE_BYTES,
+    AddressSpace,
+    Packet,
+    PacketKind,
+)
+from repro.sim.stats import BandwidthMeter, LatencyRecorder
+
+#: A DMA sink accepts ``(packet, channel, on_response)`` — the auditor under
+#: OPTIMUS, the shell under pass-through.
+DmaSink = Callable[[Packet, VirtualChannel, Callable[[Optional[Packet]], None]], None]
+
+
+class RegisterFile:
+    """A 4 KB MMIO page of 64-bit registers, keyed by byte offset.
+
+    Registers may carry side-effect hooks (``on_write``); registers without
+    hooks are idempotent "application registers" in the paper's taxonomy
+    (§4.2), which the hypervisor may cache and replay during scheduling.
+    """
+
+    PAGE_BYTES = 4096
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: Dict[int, int] = {}
+        self._write_hooks: Dict[int, Callable[[int], None]] = {}
+        self._read_hooks: Dict[int, Callable[[], int]] = {}
+
+    def _check(self, offset: int) -> None:
+        if offset < 0 or offset >= self.PAGE_BYTES or offset % 8:
+            raise MmioFault(f"{self.name}: bad register offset {offset:#x}")
+
+    def define(self, offset: int, *, on_write: Optional[Callable[[int], None]] = None,
+               on_read: Optional[Callable[[], int]] = None, initial: int = 0) -> None:
+        self._check(offset)
+        self._values[offset] = initial
+        if on_write is not None:
+            self._write_hooks[offset] = on_write
+        if on_read is not None:
+            self._read_hooks[offset] = on_read
+
+    def write(self, offset: int, value: int) -> None:
+        self._check(offset)
+        self._values[offset] = value & (2**64 - 1)
+        hook = self._write_hooks.get(offset)
+        if hook is not None:
+            hook(value)
+
+    def read(self, offset: int) -> int:
+        self._check(offset)
+        hook = self._read_hooks.get(offset)
+        if hook is not None:
+            value = hook() & (2**64 - 1)
+            self._values[offset] = value
+            return value
+        return self._values.get(offset, 0)
+
+    def snapshot(self) -> Dict[int, int]:
+        """All raw values — used when caching application registers."""
+        return dict(self._values)
+
+    def restore(self, values: Dict[int, int]) -> None:
+        for offset, value in values.items():
+            self._values[offset] = value
+
+    def clear(self) -> None:
+        self._values = {offset: 0 for offset in self._values}
+
+
+class DmaEngine:
+    """Closed-loop CCI-P request source for one physical accelerator."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        accel_id: int,
+        *,
+        clock: Clock,
+        issue_interval_cycles: int,
+        max_outstanding: int = 64,
+        spec_probe: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        if issue_interval_cycles < 1:
+            raise ConfigurationError("issue interval must be >= 1 cycle")
+        if max_outstanding < 1:
+            raise ConfigurationError("need at least one outstanding slot")
+        self.engine = engine
+        self.accel_id = accel_id
+        self.clock = clock
+        self.issue_interval_cycles = issue_interval_cycles
+        self.max_outstanding = max_outstanding
+        self.spec_probe = spec_probe
+        self.sink: Optional[DmaSink] = None
+        self._outstanding = 0
+        self._next_issue_ps = 0
+        self._wakeup_pending = False
+        self._waiting: Deque[Tuple[Packet, VirtualChannel, Future]] = deque()
+        self.read_meter = BandwidthMeter(engine, f"afu{accel_id}.read")
+        self.write_meter = BandwidthMeter(engine, f"afu{accel_id}.write")
+        self.latency = LatencyRecorder(f"afu{accel_id}.latency")
+        self.dropped = 0
+
+    # -- accelerator-facing API ------------------------------------------------
+
+    def read(
+        self,
+        address: int,
+        size: int = CACHE_LINE_BYTES,
+        *,
+        channel: VirtualChannel = VirtualChannel.VA,
+    ) -> Future:
+        """Issue a DMA read; the future resolves to bytes (or None if dropped)."""
+        packet = Packet(
+            kind=PacketKind.DMA_READ_REQ,
+            address=address,
+            size=size,
+            space=AddressSpace.GVA,
+            accel_id=self.accel_id,
+        )
+        return self._enqueue(packet, channel)
+
+    def write(
+        self,
+        address: int,
+        data: Optional[bytes] = None,
+        size: Optional[int] = None,
+        *,
+        channel: VirtualChannel = VirtualChannel.VA,
+    ) -> Future:
+        """Issue a DMA write; the future resolves to True (False if dropped)."""
+        if size is None:
+            size = len(data) if data is not None else CACHE_LINE_BYTES
+        packet = Packet(
+            kind=PacketKind.DMA_WRITE_REQ,
+            address=address,
+            size=size,
+            data=data,
+            space=AddressSpace.GVA,
+            accel_id=self.accel_id,
+        )
+        return self._enqueue(packet, channel)
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    # -- issue machinery -----------------------------------------------------------
+
+    def _enqueue(self, packet: Packet, channel: VirtualChannel) -> Future:
+        if self.sink is None:
+            raise ConfigurationError("DMA engine is not connected to a datapath")
+        future = self.engine.future()
+        self._waiting.append((packet, channel, future))
+        self._try_issue()
+        return future
+
+    def _issue_interval_ps(self, packet: Packet) -> int:
+        interval = self.issue_interval_cycles
+        if interval > 1 and self.spec_probe is not None and self.spec_probe():
+            interval = 1  # speculative streak: back-to-back issue (§6.5)
+        # Multi-line requests occupy the issue port once per cache line, so
+        # aggregation cannot cheat the per-line throttle of §6.3.
+        lines = max(1, (packet.size + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES)
+        return self.clock.cycles(interval * lines)
+
+    def _schedule_wakeup(self, at_ps: int) -> None:
+        # At most one pending wakeup: enqueues while the throttle is armed
+        # must not pile O(queue-depth) timers onto the event queue.
+        if self._wakeup_pending:
+            return
+        self._wakeup_pending = True
+        self.engine.call_at(max(at_ps, self.engine.now), self._wakeup)
+
+    def _wakeup(self) -> None:
+        self._wakeup_pending = False
+        self._try_issue()
+
+    def _try_issue(self) -> None:
+        while self._waiting and self._outstanding < self.max_outstanding:
+            now = self.engine.now
+            if now < self._next_issue_ps:
+                self._schedule_wakeup(self._next_issue_ps)
+                return
+            packet, channel, future = self._waiting.popleft()
+            self._outstanding += 1
+            self._next_issue_ps = now + self._issue_interval_ps(packet)
+            packet.issued_at_ps = now
+            assert self.sink is not None
+            self.sink(packet, channel, lambda resp, p=packet, f=future: self._complete(p, f, resp))
+
+    def _complete(self, request: Packet, future: Future, response: Optional[Packet]) -> None:
+        self._outstanding -= 1
+        self.latency.record(self.engine.now - request.issued_at_ps)
+        if response is None:
+            self.dropped += 1
+            future.set_result(None if request.kind is PacketKind.DMA_READ_REQ else False)
+        elif request.kind is PacketKind.DMA_READ_REQ:
+            self.read_meter.record(request.size)
+            future.set_result(response.data)
+        else:
+            self.write_meter.record(request.size)
+            future.set_result(True)
+        self._try_issue()
+
+    def drain(self) -> Future:
+        """A future that completes when no requests are in flight or queued.
+
+        The preemption protocol waits on this: "once all in-flight
+        transactions have been processed, the accelerator notifies OPTIMUS
+        that context has been successfully saved" (§4.2).
+        """
+        future = self.engine.future()
+
+        def poll() -> None:
+            if self._outstanding == 0 and not self._waiting:
+                future.set_result(None)
+            else:
+                self.engine.call_after(self.clock.cycles(8), poll)
+
+        poll()
+        return future
+
+    def abandon_queued(self) -> int:
+        """Drop not-yet-issued requests (used on forcible reset)."""
+        dropped = len(self._waiting)
+        for _packet, _channel, future in self._waiting:
+            if not future.done():
+                future.set_result(None)
+        self._waiting.clear()
+        return dropped
+
+    def reset_meters(self) -> None:
+        self.read_meter.reset()
+        self.write_meter.reset()
+        self.latency.reset()
+
+
+class AfuSocket:
+    """One physical accelerator slot: registers + DMA engine + reset line."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        accel_id: int,
+        *,
+        clock: Clock,
+        issue_interval_cycles: int,
+        max_outstanding: int = 64,
+        spec_probe: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.engine = engine
+        self.accel_id = accel_id
+        self.clock = clock
+        self.registers = RegisterFile(f"afu{accel_id}.regs")
+        self.dma = DmaEngine(
+            engine,
+            accel_id,
+            clock=clock,
+            issue_interval_cycles=issue_interval_cycles,
+            max_outstanding=max_outstanding,
+            spec_probe=spec_probe,
+        )
+        self.reset_count = 0
+
+    def connect(self, sink: DmaSink) -> None:
+        self.dma.sink = sink
+
+    def reset(self) -> None:
+        """Pull the reset line: clear registers and queued DMAs.
+
+        The VCU's reset table drives this on VM context switches to clear
+        state for isolation (§4.1).
+        """
+        self.reset_count += 1
+        self.registers.clear()
+        self.dma.abandon_queued()
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        self.registers.write(offset, value)
+
+    def mmio_read(self, offset: int) -> int:
+        return self.registers.read(offset)

@@ -1,0 +1,119 @@
+"""FPGA resource accounting (ALMs and BRAM).
+
+Table 2 of the paper reports utilization as a percentage of the Arria 10's
+total Adaptive Logic Modules and Block RAM, so this model works directly
+in percentage points.  A :class:`ResourceFootprint` is attached to the
+shell, to each hardware-monitor component, and to each benchmark
+accelerator (single-instance, pass-through column of Table 2); the
+synthesis model (:mod:`repro.fpga.synthesis`) scales instance counts and
+adds routing effects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResourceFootprint:
+    """Utilization of one component, in percent of device totals."""
+
+    alm_pct: float
+    bram_pct: float
+
+    def __add__(self, other: "ResourceFootprint") -> "ResourceFootprint":
+        return ResourceFootprint(self.alm_pct + other.alm_pct, self.bram_pct + other.bram_pct)
+
+    def __mul__(self, factor: float) -> "ResourceFootprint":
+        return ResourceFootprint(self.alm_pct * factor, self.bram_pct * factor)
+
+    __rmul__ = __mul__
+
+    def fits_with(self, *others: "ResourceFootprint") -> bool:
+        total = self
+        for other in others:
+            total = total + other
+        return total.alm_pct <= 100.0 and total.bram_pct <= 100.0
+
+
+class SynthesisCharacter(enum.Enum):
+    """How a design behaves when replicated, per Table 2's three regimes.
+
+    * NORMAL  — replication costs slightly more than N x (routing pressure:
+      "the synthesizer must consume extra resources in order to route
+      signals ... under timing requirements").
+    * SIMPLE  — small designs the optimizer packs efficiently (MemBench
+      "only uses 6x the number of ALMs" at 8 instances).
+    * TRIVIAL — designs so small that replicating them lets the synthesizer
+      optimize *shared shell logic*, yielding a net decrease (LinkedList's
+      negative ALM delta in Table 2).
+    """
+
+    NORMAL = "normal"
+    SIMPLE = "simple"
+    TRIVIAL = "trivial"
+
+
+# Fixed platform components (Table 2, identical in PT and OPTIMUS columns).
+SHELL_FOOTPRINT = ResourceFootprint(alm_pct=23.44, bram_pct=6.57)
+
+# Hardware-monitor decomposition.  Table 2 reports the assembled monitor for
+# 8 accelerators at 6.16% ALM / 0.48% BRAM; we split that among the VCU,
+# 8 auditors, and the 7 nodes of a 3-level binary tree so that differently
+# sized monitors (ablations) are costed consistently.
+VCU_FOOTPRINT = ResourceFootprint(alm_pct=1.00, bram_pct=0.30)
+AUDITOR_FOOTPRINT = ResourceFootprint(alm_pct=0.40, bram_pct=0.0225)
+MUX_NODE_FOOTPRINT = ResourceFootprint(alm_pct=0.28, bram_pct=0.0)
+
+
+def monitor_footprint(n_accelerators: int, mux_nodes: int) -> ResourceFootprint:
+    """Total hardware-monitor footprint for a given configuration."""
+    if n_accelerators < 1 or mux_nodes < 0:
+        raise ConfigurationError("invalid monitor configuration")
+    return (
+        VCU_FOOTPRINT
+        + n_accelerators * AUDITOR_FOOTPRINT
+        + mux_nodes * MUX_NODE_FOOTPRINT
+    )
+
+
+class ResourceBudget:
+    """Tracks allocated resources on one FPGA and rejects over-subscription."""
+
+    def __init__(self) -> None:
+        self._components: list[tuple[str, ResourceFootprint]] = []
+
+    def allocate(self, name: str, footprint: ResourceFootprint) -> None:
+        if not self.remaining_after(footprint):
+            raise ConfigurationError(
+                f"component {name!r} does not fit: "
+                f"ALM {self.alm_pct + footprint.alm_pct:.2f}%, "
+                f"BRAM {self.bram_pct + footprint.bram_pct:.2f}%"
+            )
+        self._components.append((name, footprint))
+
+    def remaining_after(self, footprint: ResourceFootprint) -> bool:
+        return (
+            self.alm_pct + footprint.alm_pct <= 100.0
+            and self.bram_pct + footprint.bram_pct <= 100.0
+        )
+
+    @property
+    def alm_pct(self) -> float:
+        return sum(fp.alm_pct for _name, fp in self._components)
+
+    @property
+    def bram_pct(self) -> float:
+        return sum(fp.bram_pct for _name, fp in self._components)
+
+    def breakdown(self) -> dict[str, ResourceFootprint]:
+        result: dict[str, ResourceFootprint] = {}
+        for name, footprint in self._components:
+            if name in result:
+                result[name] = result[name] + footprint
+            else:
+                result[name] = footprint
+        return result

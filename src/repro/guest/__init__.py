@@ -1,0 +1,6 @@
+"""Guest-side stack: FPGA driver and userspace library."""
+
+from repro.guest.api import GuestAccelerator, NativeAccelerator
+from repro.guest.driver import GuestFpgaDriver
+
+__all__ = ["GuestAccelerator", "GuestFpgaDriver", "NativeAccelerator"]

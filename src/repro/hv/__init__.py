@@ -1,0 +1,43 @@
+"""The OPTIMUS hypervisor and its baselines."""
+
+from repro.hv.hypervisor import OptimusHypervisor
+from repro.hv.mdev import (
+    BAR2_MAP_GPA,
+    BAR2_MAP_GVA,
+    BAR2_SLICE_BASE,
+    BAR2_STATE_BUF,
+    BAR2_WINDOW_SIZE,
+    VAccelState,
+    VirtualAccelerator,
+)
+from repro.hv.migration import migrate
+from repro.hv.passthrough import PassthroughHypervisor
+from repro.hv.preemption import PhysicalAccelerator
+from repro.hv.scheduler import (
+    PriorityScheduler,
+    RoundRobinScheduler,
+    SchedulingPolicy,
+    WeightedScheduler,
+)
+from repro.hv.shadow import ShadowPager
+from repro.hv.vm import VirtualMachine
+
+__all__ = [
+    "BAR2_MAP_GPA",
+    "BAR2_MAP_GVA",
+    "BAR2_SLICE_BASE",
+    "BAR2_STATE_BUF",
+    "BAR2_WINDOW_SIZE",
+    "OptimusHypervisor",
+    "PassthroughHypervisor",
+    "migrate",
+    "PhysicalAccelerator",
+    "PriorityScheduler",
+    "RoundRobinScheduler",
+    "SchedulingPolicy",
+    "ShadowPager",
+    "VAccelState",
+    "VirtualAccelerator",
+    "VirtualMachine",
+    "WeightedScheduler",
+]

@@ -1,0 +1,127 @@
+"""The pass-through baseline (§6.1): direct assignment with vIOMMU.
+
+The paper compares OPTIMUS against a guest that owns the whole FPGA via
+VFIO direct assignment, with QEMU's virtual IOMMU exposing the real IOMMU
+so the accelerator can use the guest process's virtual addresses directly
+(IOVA == GVA).  There is no hardware monitor: the single accelerator is
+wired straight to the shell and issues requests every cycle.
+
+``PassthroughHypervisor`` also doubles as the *native* (non-virtualized)
+runtime when built with ``virtualized=False``: the only modeled difference
+is the control-plane cost — native MMIO is an uncached PCIe access, while
+virtualized MMIO pays hypervisor trap-and-emulate (§2.1).  That difference
+is what separates the native and virtualized curves of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.accel.base import AcceleratorJob, ExecutionContext
+from repro.errors import ConfigurationError, GuestError
+from repro.hv.vm import VirtualMachine
+from repro.interconnect.channel_selector import VirtualChannel
+from repro.mem.address import GB, align_up
+from repro.mem.allocator import FrameAllocator
+from repro.platform.builder import Platform, PlatformMode
+from repro.sim.engine import Future, Process
+
+
+class PassthroughHypervisor:
+    """Direct assignment of one physical accelerator to one guest."""
+
+    def __init__(self, platform: Platform, *, virtualized: bool = True) -> None:
+        if platform.mode is not PlatformMode.PASSTHROUGH:
+            raise ConfigurationError("PassthroughHypervisor needs a pass-through platform")
+        self.platform = platform
+        self.engine = platform.engine
+        self.virtualized = virtualized
+        self.page_size = platform.params.page_size
+        reserved = align_up(4 * GB, self.page_size)
+        self.frames = FrameAllocator(
+            reserved, platform.dram.size_bytes - reserved, self.page_size
+        )
+        self.vm: Optional[VirtualMachine] = None
+        self.pages_pinned = 0
+        self.mmio_ops = 0
+        self._job_process: Optional[Process] = None
+        self.current_job: Optional[AcceleratorJob] = None
+
+    # -- VM lifecycle -----------------------------------------------------------
+
+    def create_vm(self, name: str = "guest", mem_bytes: int = 10 * GB) -> VirtualMachine:
+        if self.vm is not None:
+            raise ConfigurationError("pass-through supports a single guest")
+        self.vm = VirtualMachine(name, self, mem_bytes=mem_bytes, page_size=self.page_size)
+        return self.vm
+
+    def back_guest_page(self, _vm: VirtualMachine) -> int:
+        return self.frames.alloc_frame()
+
+    # -- vIOMMU: identity GVA -> IOVA, mapped straight to host frames -------------------
+
+    def viommu_map_region(self, gva: int, size: int) -> int:
+        """Map ``[gva, gva+size)`` into the IOMMU with IOVA == GVA.
+
+        Models the guest driver registering DMA memory through the vIOMMU;
+        pages are pinned, as with any direct-assigned device (§5).
+        """
+        if self.vm is None:
+            raise GuestError("no guest VM")
+        iommu = self.platform.iommu
+        first = gva - (gva % self.page_size)
+        end = gva + size
+        count = 0
+        page = first
+        while page < end:
+            _gpa, hpa = self.vm.mmu.resolve_for_pinning(page)
+            iommu.map(page, hpa, writable=True)
+            self.pages_pinned += 1
+            count += 1
+            page += self.page_size
+        return count
+
+    # -- control plane -----------------------------------------------------------------
+
+    @property
+    def mmio_cost_ps(self) -> int:
+        params = self.platform.params
+        if self.virtualized:
+            return params.mmio_native_ps + params.mmio_trap_ps
+        return params.mmio_native_ps
+
+    def mmio_write(self, offset: int, value: int) -> Future:
+        self.mmio_ops += 1
+        self.platform.sockets[0].mmio_write(offset, value)
+        return self.engine.timer(self.mmio_cost_ps)
+
+    def mmio_read(self, offset: int) -> Future:
+        self.mmio_ops += 1
+        value = self.platform.sockets[0].mmio_read(offset)
+        return self.engine.timer(self.mmio_cost_ps, value)
+
+    # -- job execution (no temporal multiplexing in pass-through) -------------------------
+
+    def start_job(
+        self,
+        job: AcceleratorJob,
+        *,
+        channel: VirtualChannel = VirtualChannel.VA,
+    ) -> Future:
+        """Run a job to completion on the directly assigned accelerator."""
+        if self._job_process is not None and not self._job_process.completion.done():
+            raise ConfigurationError("an acceleration job is already running")
+        socket = self.platform.sockets[0]
+        socket.dma.max_outstanding = job.profile.max_outstanding
+        ctx = ExecutionContext(self.engine, socket, clock=job.profile.clock, channel=channel)
+        job.configure(job.regs)
+        self.current_job = job
+        self._job_process = self.engine.spawn(job.body(ctx), name=f"pt.{job.profile.name}")
+        job.completion = self._job_process.completion
+        return self._job_process.completion
+
+    def run_until_done(self, limit_ps: Optional[int] = None) -> None:
+        if self._job_process is None:
+            raise ConfigurationError("no job started")
+        if not self._job_process.completion.done():
+            self.engine.run_until(self._job_process.completion, limit_ps=limit_ps)

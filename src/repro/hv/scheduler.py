@@ -1,0 +1,152 @@
+"""Temporal-multiplexing scheduling policies (§5, §6.8).
+
+OPTIMUS ships three software schedulers:
+
+* **unweighted round-robin** — equal time slices, the default;
+* **weighted** — each virtual accelerator's slice is scaled by its weight;
+* **priority** — at every slice boundary, the runnable job with the
+  greatest priority runs (ties broken round-robin).
+
+A policy is a pure decision function: given the runnable virtual
+accelerators it returns who runs next and for how long.  The hypervisor's
+per-physical-accelerator scheduling loop (:mod:`repro.hv.preemption`)
+executes the decision, performs the context switch, and accounts actual
+runtime, which §6.8 compares against each policy's expectation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulerError
+from repro.hv.mdev import VirtualAccelerator
+from repro.sim.clock import ms
+
+
+class SchedulingPolicy:
+    """Base class: pick the next virtual accelerator and its slice length."""
+
+    name = "base"
+
+    def pick(
+        self, runnable: Sequence[VirtualAccelerator]
+    ) -> Tuple[VirtualAccelerator, int]:
+        raise NotImplementedError
+
+    def expected_shares(
+        self, vaccels: Sequence[VirtualAccelerator]
+    ) -> Dict[int, float]:
+        """Fraction of physical-accelerator time each vaccel should get.
+
+        Used by the §6.8 experiment to compute expected execution times.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(SchedulingPolicy):
+    """Unweighted round-robin: equal slices, strict rotation (the default)."""
+
+    name = "round-robin"
+
+    def __init__(self, time_slice_ps: int = ms(10)) -> None:
+        if time_slice_ps <= 0:
+            raise SchedulerError("time slice must be positive")
+        self.time_slice_ps = time_slice_ps
+        self._last_id: Optional[int] = None
+
+    def pick(self, runnable: Sequence[VirtualAccelerator]) -> Tuple[VirtualAccelerator, int]:
+        if not runnable:
+            raise SchedulerError("nothing runnable")
+        ordered = sorted(runnable, key=lambda va: va.vaccel_id)
+        if self._last_id is None:
+            choice = ordered[0]
+        else:
+            later = [va for va in ordered if va.vaccel_id > self._last_id]
+            choice = later[0] if later else ordered[0]
+        self._last_id = choice.vaccel_id
+        return choice, self.time_slice_ps
+
+    def expected_shares(self, vaccels: Sequence[VirtualAccelerator]) -> Dict[int, float]:
+        share = 1.0 / len(vaccels)
+        return {va.vaccel_id: share for va in vaccels}
+
+
+class WeightedScheduler(SchedulingPolicy):
+    """Weighted time slices: vaccel ``i`` runs ``weight_i x base_slice``."""
+
+    name = "weighted"
+
+    def __init__(self, weights: Dict[int, float], base_slice_ps: int = ms(10)) -> None:
+        if base_slice_ps <= 0:
+            raise SchedulerError("base slice must be positive")
+        if any(w <= 0 for w in weights.values()):
+            raise SchedulerError("weights must be positive")
+        self.weights = dict(weights)
+        self.base_slice_ps = base_slice_ps
+        self._last_id: Optional[int] = None
+
+    def weight_of(self, vaccel: VirtualAccelerator) -> float:
+        return self.weights.get(vaccel.vaccel_id, 1.0)
+
+    def pick(self, runnable: Sequence[VirtualAccelerator]) -> Tuple[VirtualAccelerator, int]:
+        if not runnable:
+            raise SchedulerError("nothing runnable")
+        ordered = sorted(runnable, key=lambda va: va.vaccel_id)
+        if self._last_id is None:
+            choice = ordered[0]
+        else:
+            later = [va for va in ordered if va.vaccel_id > self._last_id]
+            choice = later[0] if later else ordered[0]
+        self._last_id = choice.vaccel_id
+        return choice, round(self.base_slice_ps * self.weight_of(choice))
+
+    def expected_shares(self, vaccels: Sequence[VirtualAccelerator]) -> Dict[int, float]:
+        total = sum(self.weight_of(va) for va in vaccels)
+        return {va.vaccel_id: self.weight_of(va) / total for va in vaccels}
+
+
+class PriorityScheduler(SchedulingPolicy):
+    """Strict priority: the runnable job with the greatest priority runs.
+
+    Equal-priority jobs share round-robin.  Starvation of low-priority
+    jobs while higher ones run is the *intended* behaviour (§6.8 verifies
+    the policy is enforced, not that it is pleasant).
+    """
+
+    name = "priority"
+
+    def __init__(self, priorities: Dict[int, int], time_slice_ps: int = ms(10)) -> None:
+        if time_slice_ps <= 0:
+            raise SchedulerError("time slice must be positive")
+        self.priorities = dict(priorities)
+        self.time_slice_ps = time_slice_ps
+        self._last_id: Optional[int] = None
+
+    def priority_of(self, vaccel: VirtualAccelerator) -> int:
+        return self.priorities.get(vaccel.vaccel_id, 0)
+
+    def pick(self, runnable: Sequence[VirtualAccelerator]) -> Tuple[VirtualAccelerator, int]:
+        if not runnable:
+            raise SchedulerError("nothing runnable")
+        top = max(self.priority_of(va) for va in runnable)
+        candidates = sorted(
+            (va for va in runnable if self.priority_of(va) == top),
+            key=lambda va: va.vaccel_id,
+        )
+        if self._last_id is not None:
+            later = [va for va in candidates if va.vaccel_id > self._last_id]
+            choice = later[0] if later else candidates[0]
+        else:
+            choice = candidates[0]
+        self._last_id = choice.vaccel_id
+        return choice, self.time_slice_ps
+
+    def expected_shares(self, vaccels: Sequence[VirtualAccelerator]) -> Dict[int, float]:
+        top = max(self.priority_of(va) for va in vaccels)
+        winners: List[VirtualAccelerator] = [
+            va for va in vaccels if self.priority_of(va) == top
+        ]
+        shares = {va.vaccel_id: 0.0 for va in vaccels}
+        for va in winners:
+            shares[va.vaccel_id] = 1.0 / len(winners)
+        return shares

@@ -1,0 +1,13 @@
+"""CPU-FPGA interconnect: UPI/PCIe links, channel selection, memory path."""
+
+from repro.interconnect.channel_selector import ChannelSelector, VirtualChannel
+from repro.interconnect.link import Link, LinkKind
+from repro.interconnect.topology import MemorySystem
+
+__all__ = [
+    "ChannelSelector",
+    "Link",
+    "LinkKind",
+    "MemorySystem",
+    "VirtualChannel",
+]

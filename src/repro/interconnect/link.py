@@ -1,0 +1,80 @@
+"""CPU-FPGA interconnect links.
+
+Skylake HARP exposes one UPI link and two PCIe 3.0 x8 links between the
+Xeon and the Arria 10 (§6.1).  Each :class:`Link` is a pair of directional
+:class:`~repro.sim.port.ThroughputServer` pipes — ``to_memory`` (requests
+and write payloads) and ``from_memory`` (read payloads and acks) — so read
+and write traffic contend realistically with each other and with IOMMU
+page-walk fetches.
+
+UPI is lower latency than PCIe for reads (§6.1, "although UPI has lower
+latency for reads, the channel selector places some reads on PCIe"); the
+default latencies below are calibrated so that a pass-through LinkedList
+measures ~410 ns on UPI and ~900 ns on PCIe, matching the ratios implied
+by Fig. 4a.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.sim.clock import gbps_to_bytes_per_ps
+from repro.sim.engine import Engine
+from repro.sim.port import ThroughputServer
+from repro.sim.stats import BandwidthMeter
+
+
+class LinkKind(enum.Enum):
+    UPI = "upi"
+    PCIE = "pcie"
+
+
+class Link:
+    """One physical CPU<->FPGA link with independent directions."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        kind: LinkKind,
+        *,
+        bandwidth_gbps: float,
+        latency_ps: int,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.kind = kind
+        self.latency_ps = latency_ps
+        rate = gbps_to_bytes_per_ps(bandwidth_gbps)
+        self.to_memory = ThroughputServer(engine, f"{name}.to_mem", rate, latency_ps)
+        self.from_memory = ThroughputServer(engine, f"{name}.from_mem", rate, latency_ps)
+        self.meter_to_memory = BandwidthMeter(engine, f"{name}.bw.to_mem")
+        self.meter_from_memory = BandwidthMeter(engine, f"{name}.bw.from_mem")
+
+    def send_to_memory(self, wire_bytes: int, deliver: Callable[..., None], *args: Any) -> int:
+        self.meter_to_memory.record(wire_bytes)
+        return self.to_memory.submit(wire_bytes, deliver, *args)
+
+    def send_from_memory(self, wire_bytes: int, deliver: Callable[..., None], *args: Any) -> int:
+        self.meter_from_memory.record(wire_bytes)
+        return self.from_memory.submit(wire_bytes, deliver, *args)
+
+    def round_trip(self, request_bytes: int, response_bytes: int, on_done: Callable[[], None]) -> None:
+        """Request out, response back — used for IOMMU page-walk fetches."""
+        self.send_to_memory(
+            request_bytes,
+            lambda: self.send_from_memory(response_bytes, on_done),
+        )
+
+    @property
+    def backlog_ps(self) -> int:
+        """Total committed-but-unserved time across both directions.
+
+        The channel selector uses this as its congestion signal.
+        """
+        return self.to_memory.backlog_ps + self.from_memory.backlog_ps
+
+    def reset_meters(self) -> None:
+        self.meter_to_memory.reset()
+        self.meter_from_memory.reset()

@@ -1,0 +1,132 @@
+"""Assembly of the CPU-side memory path: links + IOMMU + DRAM.
+
+:class:`MemorySystem` is what the FPGA shell talks to.  It accepts DMA
+request packets whose addresses are **IOVAs** (pass-through guests and
+OPTIMUS auditors both hand the shell IOVA-space packets), runs the timed
+IOMMU translation, moves the packet across the selected link, performs the
+DRAM access (functionally, so data really moves), and returns the response
+packet across the link.
+
+A translation fault drops the DMA: the response callback receives ``None``
+and the fault is visible in ``iommu.faults`` — this is the observable
+behaviour isolation tests assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.interconnect.channel_selector import ChannelSelector, VirtualChannel
+from repro.interconnect.link import Link
+from repro.mem.dram import Dram
+from repro.mem.iommu import Iommu
+from repro.sim.engine import Engine
+from repro.sim.packet import SMALL_PACKET_BYTES, AddressSpace, Packet, PacketKind
+from repro.sim.stats import BandwidthMeter
+
+ResponseCallback = Callable[[Optional[Packet]], None]
+
+
+class MemorySystem:
+    """The CPU side of CCI-P: translation, links, DRAM."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        iommu: Iommu,
+        dram: Dram,
+        selector: ChannelSelector,
+    ) -> None:
+        self.engine = engine
+        self.iommu = iommu
+        self.dram = dram
+        self.selector = selector
+        self.read_meter = BandwidthMeter(engine, "mem.read")
+        self.write_meter = BandwidthMeter(engine, "mem.write")
+        self.dropped_dmas = 0
+        # Page walks fetch IOPT data from DRAM over a link the shell picks.
+        self.iommu.walk_transfer = self._walk_transfer
+
+    # -- DMA data plane --------------------------------------------------------
+
+    def dma(
+        self,
+        packet: Packet,
+        channel: VirtualChannel,
+        on_response: ResponseCallback,
+    ) -> None:
+        """Carry one DMA request to memory and its response back."""
+        assert packet.is_dma and packet.is_request
+        assert packet.space is AddressSpace.IOVA, "memory system expects IOVAs"
+        is_write = packet.kind is PacketKind.DMA_WRITE_REQ
+
+        def after_translate(hpa: Optional[int]) -> None:
+            if hpa is None:
+                self.dropped_dmas += 1
+                on_response(None)
+                return
+            link = self.selector.select(channel)
+            self._transfer(packet, hpa, is_write, link, on_response)
+
+        self.iommu.translate_async(
+            packet.address,
+            write=is_write,
+            master=packet.accel_id,
+            on_done=after_translate,
+        )
+
+    def _transfer(
+        self,
+        packet: Packet,
+        hpa: int,
+        is_write: bool,
+        link: Link,
+        on_response: ResponseCallback,
+    ) -> None:
+        if is_write:
+            def at_memory() -> None:
+                self.write_meter.record(packet.size)
+                self.dram.write_async(
+                    hpa,
+                    packet.data,
+                    packet.size,
+                    lambda: link.send_from_memory(
+                        packet.wire_bytes_from_memory(),
+                        on_response,
+                        packet.make_response(),
+                    ),
+                )
+
+            link.send_to_memory(packet.wire_bytes_to_memory(), at_memory)
+        else:
+            def at_memory() -> None:
+                def with_data(data: bytes) -> None:
+                    self.read_meter.record(packet.size)
+                    response = packet.make_response(data=data)
+                    link.send_from_memory(
+                        response.wire_bytes_from_memory(), on_response, response
+                    )
+
+                self.dram.read_async(hpa, packet.size, with_data)
+
+            link.send_to_memory(packet.wire_bytes_to_memory(), at_memory)
+
+    # -- IOMMU page-walk transport ----------------------------------------------
+
+    def _walk_transfer(self, wire_bytes: int, on_done: Callable[[], None]) -> None:
+        link = self.selector.select(VirtualChannel.VA)
+        link.round_trip(SMALL_PACKET_BYTES, wire_bytes + SMALL_PACKET_BYTES, on_done)
+
+    # -- functional access (CPU-side, zero simulated time) -----------------------
+
+    def cpu_read(self, hpa: int, size: int) -> bytes:
+        return self.dram.read_now(hpa, size)
+
+    def cpu_write(self, hpa: int, data: bytes) -> None:
+        self.dram.write_now(hpa, data)
+
+    def reset_meters(self) -> None:
+        self.read_meter.reset()
+        self.write_meter.reset()
+        for link in self.selector.all_links:
+            link.reset_meters()

@@ -1,0 +1,63 @@
+"""Pure-algorithm kernels: the functional halves of the benchmark accelerators.
+
+Everything here is hardware-independent and synchronous — implemented from
+scratch so the accelerator models in :mod:`repro.accel` compute *real*
+results that tests can verify against reference implementations.
+"""
+
+from repro.kernels.aes128 import encrypt_block, encrypt_ecb, expand_key
+from repro.kernels.bitcoin import BlockHeader, easy_target, hash_value, meets_target, mine
+from repro.kernels.dsp import GaussianGenerator, Xorshift64Star, fir_filter, lowpass_taps
+from repro.kernels.graph import (
+    CsrGraph,
+    random_graph,
+    sssp_bellman_ford,
+    sssp_dijkstra,
+)
+from repro.kernels.image import gaussian_blur, grayscale, sobel
+from repro.kernels.md5 import Md5, md5_bytes
+from repro.kernels.reed_solomon import DecodeError, ReedSolomon
+from repro.kernels.sha2 import Sha256, Sha512, double_sha256, sha256_bytes, sha512_bytes
+from repro.kernels.smith_waterman import (
+    Alignment,
+    ScoringScheme,
+    align,
+    best_score,
+    score_matrix,
+)
+
+__all__ = [
+    "Alignment",
+    "BlockHeader",
+    "CsrGraph",
+    "DecodeError",
+    "GaussianGenerator",
+    "Md5",
+    "ReedSolomon",
+    "ScoringScheme",
+    "Sha256",
+    "Sha512",
+    "Xorshift64Star",
+    "align",
+    "best_score",
+    "double_sha256",
+    "easy_target",
+    "encrypt_block",
+    "encrypt_ecb",
+    "expand_key",
+    "fir_filter",
+    "gaussian_blur",
+    "grayscale",
+    "hash_value",
+    "lowpass_taps",
+    "md5_bytes",
+    "meets_target",
+    "mine",
+    "random_graph",
+    "score_matrix",
+    "sha256_bytes",
+    "sha512_bytes",
+    "sobel",
+    "sssp_bellman_ford",
+    "sssp_dijkstra",
+]

@@ -1,0 +1,143 @@
+"""AES-128 (ECB) implemented from scratch.
+
+This is the functional kernel behind the AES benchmark accelerator
+(Table 1: "AES128 Encryption Algorithm", 1,965 lines of Verilog).  The
+implementation is a straightforward table-free FIPS-197 AES: S-box
+substitution, ShiftRows, MixColumns over GF(2^8), and the key schedule.
+Correctness is asserted in tests against the FIPS-197 appendix vectors.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.errors import ConfigurationError
+
+BLOCK_BYTES = 16
+KEY_BYTES = 16
+ROUNDS = 10
+
+
+def _build_sbox() -> bytes:
+    """Construct the AES S-box from GF(2^8) inverses + affine transform."""
+    # Multiplicative inverse table via exp/log over the AES polynomial.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by generator 3 (0x03) in GF(2^8)
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transformation.
+        result = 0
+        for bit in range(8):
+            result |= (
+                (
+                    (inv >> bit)
+                    ^ (inv >> ((bit + 4) % 8))
+                    ^ (inv >> ((bit + 5) % 8))
+                    ^ (inv >> ((bit + 6) % 8))
+                    ^ (inv >> ((bit + 7) % 8))
+                    ^ (0x63 >> bit)
+                )
+                & 1
+            ) << bit
+        sbox[value] = result
+    return bytes(sbox)
+
+
+SBOX = _build_sbox()
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (0x02) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+@lru_cache(maxsize=16)
+def expand_key(key: bytes) -> tuple:
+    """FIPS-197 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != KEY_BYTES:
+        raise ConfigurationError("AES-128 needs a 16-byte key")
+    words: List[List[int]] = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 4 * (ROUNDS + 1)):
+        word = list(words[i - 1])
+        if i % 4 == 0:
+            word = word[1:] + word[:1]  # RotWord
+            word = [SBOX[b] for b in word]  # SubWord
+            word[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], word)])
+    round_keys = []
+    for r in range(ROUNDS + 1):
+        round_keys.append(bytes(sum(words[4 * r : 4 * r + 4], [])))
+    return tuple(round_keys)
+
+
+def _sub_bytes(state: bytearray) -> None:
+    for i, b in enumerate(state):
+        state[i] = SBOX[b]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # State is column-major: byte (row, col) lives at col*4 + row.
+    for row in range(1, 4):
+        old = [state[col * 4 + row] for col in range(4)]
+        for col in range(4):
+            state[col * 4 + row] = old[(col + row) % 4]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for col in range(4):
+        a = state[col * 4 : col * 4 + 4]
+        t = a[0] ^ a[1] ^ a[2] ^ a[3]
+        u = a[0]
+        state[col * 4 + 0] = a[0] ^ t ^ _xtime(a[0] ^ a[1])
+        state[col * 4 + 1] = a[1] ^ t ^ _xtime(a[1] ^ a[2])
+        state[col * 4 + 2] = a[2] ^ t ^ _xtime(a[2] ^ a[3])
+        state[col * 4 + 3] = a[3] ^ t ^ _xtime(a[3] ^ u)
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def encrypt_block(key: bytes, block: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    if len(block) != BLOCK_BYTES:
+        raise ConfigurationError("AES block must be 16 bytes")
+    round_keys = expand_key(key)
+    state = bytearray(block)
+    _add_round_key(state, round_keys[0])
+    for r in range(1, ROUNDS):
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[r])
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[ROUNDS])
+    return bytes(state)
+
+
+def encrypt_ecb(key: bytes, data: bytes) -> bytes:
+    """ECB-encrypt a multiple-of-16-bytes buffer (the accelerator's mode)."""
+    if len(data) % BLOCK_BYTES:
+        raise ConfigurationError("data length must be a multiple of 16")
+    out = bytearray(len(data))
+    for i in range(0, len(data), BLOCK_BYTES):
+        out[i : i + BLOCK_BYTES] = encrypt_block(key, data[i : i + BLOCK_BYTES])
+    return bytes(out)

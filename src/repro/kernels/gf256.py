@@ -1,0 +1,120 @@
+"""GF(2^8) arithmetic for the Reed-Solomon codec.
+
+The field is GF(2^8) with the conventional Reed-Solomon primitive
+polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and generator alpha = 2 —
+the CCSDS/DVB parameterization, distinct from AES's 0x11B field.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+
+PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+_EXP: List[int] = [0] * 512
+_LOG: List[int] = [0] * 256
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        _EXP[i] = x
+        _LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition (and subtraction) in GF(2^8) is XOR."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ConfigurationError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+def gf_pow(a: int, power: int) -> int:
+    if a == 0:
+        return 0 if power > 0 else 1
+    return _EXP[(_LOG[a] * power) % 255]
+
+
+def gf_inverse(a: int) -> int:
+    if a == 0:
+        raise ConfigurationError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+# -- polynomial helpers (coefficients high-order first) ----------------------------
+
+
+def poly_scale(poly: List[int], factor: int) -> List[int]:
+    return [gf_mul(c, factor) for c in poly]
+
+
+def poly_add(a: List[int], b: List[int]) -> List[int]:
+    result = [0] * max(len(a), len(b))
+    result[len(result) - len(a) :] = list(a)
+    for i, coeff in enumerate(b):
+        result[len(result) - len(b) + i] ^= coeff
+    return result
+
+
+def poly_mul(a: List[int], b: List[int]) -> List[int]:
+    result = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            result[i + j] ^= gf_mul(ca, cb)
+    return result
+
+
+def poly_eval(poly: List[int], x: int) -> int:
+    """Horner evaluation."""
+    result = 0
+    for coeff in poly:
+        result = gf_mul(result, x) ^ coeff
+    return result
+
+
+def poly_divmod(dividend: List[int], divisor: List[int]) -> tuple:
+    out = list(dividend)
+    normalizer = divisor[0]
+    for i in range(len(dividend) - len(divisor) + 1):
+        out[i] = gf_div(out[i], normalizer)
+        coeff = out[i]
+        if coeff != 0:
+            for j in range(1, len(divisor)):
+                out[i + j] ^= gf_mul(divisor[j], coeff)
+    separator = len(dividend) - len(divisor) + 1
+    return out[:separator], out[separator:]
+
+
+def exp(i: int) -> int:
+    return _EXP[i % 255]
+
+
+def log(a: int) -> int:
+    if a == 0:
+        raise ConfigurationError("log of zero in GF(256)")
+    return _LOG[a]

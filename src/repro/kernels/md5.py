@@ -1,0 +1,94 @@
+"""MD5 implemented from scratch (RFC 1321).
+
+Functional kernel behind the MD5 benchmark accelerator (Table 1: "MD5
+Hashing Algorithm", 1,266 lines of Verilog).  Supports both one-shot
+hashing and incremental use, since the accelerator model streams data
+block by block.  Verified against :mod:`hashlib` in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+_S = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+_K = [int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64)]
+
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+BLOCK_BYTES = 64
+
+
+def _left_rotate(value: int, amount: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << amount) | (value >> (32 - amount))) & 0xFFFFFFFF
+
+
+def _compress(state: tuple, block: bytes) -> tuple:
+    a0, b0, c0, d0 = state
+    m = struct.unpack("<16I", block)
+    a, b, c, d = a0, b0, c0, d0
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+            g = i
+        elif i < 32:
+            f = (d & b) | (~d & c)
+            g = (5 * i + 1) % 16
+        elif i < 48:
+            f = b ^ c ^ d
+            g = (3 * i + 5) % 16
+        else:
+            f = c ^ (b | ~d)
+            g = (7 * i) % 16
+        f = (f + a + _K[i] + m[g]) & 0xFFFFFFFF
+        a, d, c = d, c, b
+        b = (b + _left_rotate(f, _S[i])) & 0xFFFFFFFF
+    return (
+        (a0 + a) & 0xFFFFFFFF,
+        (b0 + b) & 0xFFFFFFFF,
+        (c0 + c) & 0xFFFFFFFF,
+        (d0 + d) & 0xFFFFFFFF,
+    )
+
+
+class Md5:
+    """Incremental MD5, mirroring the accelerator's streaming datapath."""
+
+    def __init__(self) -> None:
+        self.state = _INIT
+        self._pending = b""
+        self._length = 0
+
+    def update(self, data: bytes) -> "Md5":
+        self._length += len(data)
+        buffer = self._pending + data
+        offset = 0
+        while offset + BLOCK_BYTES <= len(buffer):
+            self.state = _compress(self.state, buffer[offset : offset + BLOCK_BYTES])
+            offset += BLOCK_BYTES
+        self._pending = buffer[offset:]
+        return self
+
+    def digest(self) -> bytes:
+        # Padding: 0x80, zeros, then the 64-bit bit length.
+        bit_length = self._length * 8
+        tail = self._pending + b"\x80"
+        pad = (56 - len(tail)) % 64
+        tail += b"\x00" * pad + struct.pack("<Q", bit_length & (2**64 - 1))
+        state = self.state
+        for offset in range(0, len(tail), BLOCK_BYTES):
+            state = _compress(state, tail[offset : offset + BLOCK_BYTES])
+        return struct.pack("<4I", *state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def md5_bytes(data: bytes) -> bytes:
+    return Md5().update(data).digest()

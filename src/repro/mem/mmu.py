@@ -1,0 +1,80 @@
+"""CPU-side address translation: guest page tables + extended page tables.
+
+The paper's Fig. 2 shows two translation chains into host DRAM:
+
+* software: GVA --(guest MMU page table)--> GPA --(EPT)--> HPA
+* hardware: GVA --(auditor offset)--> IOVA --(IO page table)--> HPA
+
+This module implements the software chain.  The hypervisor's shadow-paging
+code (:mod:`repro.hv.shadow`) reads these tables to build the IOVA -> HPA
+entries that keep both chains consistent — the core isolation requirement
+of a shared-memory platform (§1: updates by the process must be immediately
+visible to its accelerator and vice versa, because both chains end at the
+same HPA).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import TranslationFault
+from repro.mem.address import PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.mem.page_table import PageTable, PageTableEntry
+
+
+class GuestMmu:
+    """Per-VM MMU state: one guest page table and one extended page table.
+
+    The guest page table maps guest-virtual to guest-physical for the single
+    guest process using the accelerator (one address space suffices for the
+    reproduction; the paper's guests likewise dedicate a process per virtual
+    accelerator).  The EPT maps guest-physical to host-physical and is owned
+    by the hypervisor.
+    """
+
+    def __init__(self, vm_name: str, page_size: int = PAGE_SIZE_2M) -> None:
+        self.vm_name = vm_name
+        self.page_size = page_size
+        self.guest_table = PageTable(page_size, name=f"{vm_name}.gpt")
+        self.ept = PageTable(page_size, name=f"{vm_name}.ept")
+
+    # -- guest OS side -------------------------------------------------------
+
+    def map_guest(self, gva: int, gpa: int, *, writable: bool = True) -> PageTableEntry:
+        """The guest OS installs a GVA -> GPA mapping."""
+        return self.guest_table.map(gva, gpa, writable=writable)
+
+    def map_host(self, gpa: int, hpa: int, *, pinned: bool = False) -> PageTableEntry:
+        """The hypervisor backs a guest-physical page with host memory."""
+        return self.ept.map(gpa, hpa, pinned=pinned)
+
+    # -- translation ----------------------------------------------------------
+
+    def gva_to_gpa(self, gva: int, *, write: bool = False) -> int:
+        return self.guest_table.translate(gva, write=write)
+
+    def gpa_to_hpa(self, gpa: int, *, write: bool = False) -> int:
+        return self.ept.translate(gpa, write=write)
+
+    def gva_to_hpa(self, gva: int, *, write: bool = False) -> int:
+        """Full software-side translation, as the CPU would perform it."""
+        return self.gpa_to_hpa(self.gva_to_gpa(gva, write=write), write=write)
+
+    def try_gva_to_hpa(self, gva: int, *, write: bool = False) -> Optional[int]:
+        try:
+            return self.gva_to_hpa(gva, write=write)
+        except TranslationFault:
+            return None
+
+    def resolve_for_pinning(self, gva: int) -> Tuple[int, int]:
+        """Return ``(gpa, hpa)`` for a page the guest asked to share.
+
+        Used by the shadow-paging hypercall (§5): the guest passes GVA and
+        GPA; the hypervisor validates the pair and pins the backing HPA.
+        """
+        gpa = self.gva_to_gpa(gva)
+        hpa = self.gpa_to_hpa(gpa)
+        entry = self.ept.lookup(gpa)
+        assert entry is not None  # gpa_to_hpa would have faulted otherwise
+        entry.pinned = True
+        return gpa, hpa

@@ -1,0 +1,12 @@
+"""Platform parameters and assembly."""
+
+from repro.platform.builder import Platform, PlatformMode, build_platform
+from repro.platform.params import DEFAULT_PARAMS, PlatformParams
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "Platform",
+    "PlatformMode",
+    "PlatformParams",
+    "build_platform",
+]

@@ -1,0 +1,301 @@
+"""Discrete-event simulation engine with lightweight processes.
+
+The engine is a classic calendar queue (``heapq``) of ``(time, seq, fn)``
+entries plus a small cooperative-process layer: a *process* is a Python
+generator that yields things to wait on —
+
+* an ``int`` — wait that many picoseconds;
+* a :class:`Future` — resume (with its value) when it completes;
+* a list/tuple of futures — resume when *all* complete.
+
+This mirrors how hardware blocks are usually described in simulators like
+SimPy, but is hand-rolled so the repository has no dependencies beyond the
+scientific stack.  Accelerator models (:mod:`repro.accel`) are written as
+processes; the rest of the platform (links, IOMMU, multiplexer tree) is
+event-driven.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Type of a simulation process body.
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Future:
+    """A single-assignment container for a value produced later in sim time.
+
+    Futures are the hand-off point between event-driven components and
+    generator processes.  ``set_result``/``set_exception`` may be called at
+    most once; callbacks added after completion fire immediately.
+    """
+
+    __slots__ = ("engine", "_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError("Future.result() called before completion")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise SimulationError("Future.exception() called before completion")
+        return self._exception
+
+    def set_result(self, value: Any = None) -> None:
+        self._complete(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._complete(None, exc)
+
+    def _complete(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError("Future completed twice")
+        self._done = True
+        self._value = value
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process:
+    """A running simulation process; also a future for its return value."""
+
+    __slots__ = ("engine", "name", "generator", "completion", "_interrupted")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.generator = generator
+        self.completion = Future(engine)
+        self._interrupted = False
+
+    def interrupt(self) -> None:
+        """Stop the process the next time it would be resumed.
+
+        Used by the hypervisor to model a forcible accelerator reset: the
+        process never observes the interrupt, it simply ceases to exist,
+        like a circuit whose reset line was pulled.
+        """
+        self._interrupted = True
+
+    @property
+    def alive(self) -> bool:
+        return not self.completion.done() and not self._interrupted
+
+    # -- internal ----------------------------------------------------------
+
+    def _step(self, send_value: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self._interrupted:
+            if not self.completion.done():
+                self.completion.set_result(None)
+            self.generator.close()
+            return
+        try:
+            if throw is not None:
+                yielded = self.generator.throw(throw)
+            else:
+                yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.completion.set_result(stop.value)
+            return
+        except BaseException as exc:  # propagate to whoever awaits the process
+            self.completion.set_exception(exc)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            if yielded < 0:
+                self._step(throw=SimulationError(f"process {self.name} yielded negative delay"))
+                return
+            self.engine.call_after(yielded, self._step, None)
+        elif isinstance(yielded, Future):
+            self._subscribe(yielded)
+        elif isinstance(yielded, Process):
+            self._subscribe(yielded.completion)
+        elif isinstance(yielded, (list, tuple)):
+            self._wait_all(yielded)
+        else:
+            self._step(
+                throw=SimulationError(
+                    f"process {self.name} yielded unsupported value {yielded!r}"
+                )
+            )
+
+    def _subscribe(self, future: Future) -> None:
+        """Resume from ``future``, always via the event queue.
+
+        An already-completed future must not re-enter the generator on the
+        current stack frame — a process retiring a long chain of completed
+        futures would otherwise recurse one level per retirement.
+        """
+        if future.done():
+            self.engine.call_after(0, self._resume_from_future, future)
+        else:
+            future.add_done_callback(self._resume_from_future)
+
+    def _wait_all(self, futures: Iterable[Any]) -> None:
+        pending = []
+        for item in futures:
+            future = item.completion if isinstance(item, Process) else item
+            if not isinstance(future, Future):
+                self._step(throw=SimulationError("wait-all list may contain only futures"))
+                return
+            if not future.done():
+                pending.append(future)
+        if not pending:
+            self.engine.call_after(0, self._step, [])
+            return
+        remaining = {"count": len(pending)}
+
+        def on_done(_future: Future) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                self._step([])
+
+        for future in pending:
+            future.add_done_callback(on_done)
+
+    def _resume_from_future(self, future: Future) -> None:
+        exc = future._exception
+        if exc is not None:
+            self._step(throw=exc)
+        else:
+            self._step(future._value)
+
+
+def any_of(engine: "Engine", futures: Iterable[Future]) -> Future:
+    """A future that resolves to the first of ``futures`` to complete.
+
+    Losers are left untouched (they may still complete later); the result
+    is the winning future itself, so callers can test identity.
+    """
+    combined = Future(engine)
+
+    def on_done(winner: Future) -> None:
+        if not combined.done():
+            combined.set_result(winner)
+
+    materialized = list(futures)
+    if not materialized:
+        raise SimulationError("any_of needs at least one future")
+    for future in materialized:
+        future.add_done_callback(on_done)
+    return combined
+
+
+class Engine:
+    """The discrete-event core: one priority queue of timed callbacks."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        self._sequence = 0
+        self._processes: List[Process] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def call_at(self, time_ps: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time_ps``."""
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps; current time is {self.now} ps"
+            )
+        self._sequence += 1
+        heapq.heappush(self._queue, (time_ps, self._sequence, fn, args))
+
+    def call_after(self, delay_ps: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` after ``delay_ps`` picoseconds."""
+        self.call_at(self.now + delay_ps, fn, *args)
+
+    def future(self) -> Future:
+        return Future(self)
+
+    def completed_future(self, value: Any = None) -> Future:
+        future = Future(self)
+        future.set_result(value)
+        return future
+
+    def timer(self, delay_ps: int, value: Any = None) -> Future:
+        """A future that completes after ``delay_ps``."""
+        future = Future(self)
+        self.call_after(delay_ps, future.set_result, value)
+        return future
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, generator: ProcessGenerator, name: str = "proc") -> Process:
+        """Start a generator process immediately (its first step runs now)."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        self.call_after(0, process._step, None)
+        return process
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until_ps: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Runs until the queue empties, simulated time would pass ``until_ps``,
+        or ``max_events`` callbacks have fired.  Returns the number of events
+        processed.  When stopped by ``until_ps``, ``now`` is advanced to it so
+        measurement windows are exact.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            time_ps, _seq, fn, args = self._queue[0]
+            if until_ps is not None and time_ps > until_ps:
+                self.now = until_ps
+                return processed
+            heapq.heappop(self._queue)
+            self.now = time_ps
+            fn(*args)
+            processed += 1
+        if until_ps is not None and self.now < until_ps:
+            self.now = until_ps
+        return processed
+
+    def run_until(self, future: Future, limit_ps: Optional[int] = None) -> Any:
+        """Run until ``future`` completes; return its result.
+
+        Raises :class:`SimulationError` if the queue drains or the time limit
+        is reached first.
+        """
+        while not future.done():
+            if not self._queue:
+                raise SimulationError("event queue drained before future completed")
+            time_ps = self._queue[0][0]
+            if limit_ps is not None and time_ps > limit_ps:
+                raise SimulationError(f"future not completed by {limit_ps} ps")
+            self.run(until_ps=time_ps, max_events=1)
+        return future.result()
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,143 @@
+"""CCI-P-style packets.
+
+Intel HARP's Core Cache Interface (CCI-P) is a request/response protocol:
+an accelerator sends a memory request packet and later receives a response
+packet; MMIO reads/writes arrive from the host as requests the accelerator
+must answer.  This module defines the in-simulator representation of those
+packets.
+
+Two fields matter for the OPTIMUS hardware monitor:
+
+* ``address`` — for DMA requests, the address *as seen at this point of the
+  path*: a guest virtual address (GVA) when leaving the accelerator, an IO
+  virtual address (IOVA) after the auditor applies its page-table-slicing
+  offset, and a host physical address (HPA) after the IOMMU.
+* ``accel_id`` — the tag an auditor stamps onto outgoing DMA requests so the
+  response can be routed back (and so that foreign responses are discarded).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Size of one CCI-P cache line in bytes.  All DMAs are multiples of this.
+CACHE_LINE_BYTES = 64
+
+_packet_ids = itertools.count(1)
+
+
+class PacketKind(enum.Enum):
+    """The CCI-P transaction types the simulation distinguishes."""
+
+    MMIO_READ = "mmio_read"
+    MMIO_WRITE = "mmio_write"
+    MMIO_RESPONSE = "mmio_response"
+    DMA_READ_REQ = "dma_read_req"
+    DMA_READ_RESP = "dma_read_resp"
+    DMA_WRITE_REQ = "dma_write_req"
+    DMA_WRITE_RESP = "dma_write_resp"
+
+
+class AddressSpace(enum.Enum):
+    """Which address space a packet's ``address`` currently belongs to."""
+
+    GVA = "gva"  # guest virtual, as issued by a virtual accelerator
+    IOVA = "iova"  # IO virtual, after page table slicing
+    HPA = "hpa"  # host physical, after the IOMMU
+
+
+#: Wire overhead charged per request beyond the payload (header/CRC model).
+REQUEST_HEADER_BYTES = 16
+#: Size of a write acknowledgement / read request on the response channel.
+SMALL_PACKET_BYTES = 16
+
+
+@dataclass
+class Packet:
+    """One CCI-P transaction unit flowing through the simulated platform."""
+
+    kind: PacketKind
+    address: int = 0
+    size: int = CACHE_LINE_BYTES
+    space: AddressSpace = AddressSpace.GVA
+    accel_id: Optional[int] = None
+    data: Optional[bytes] = None
+    mdata: int = 0  # request tag, preserved in the response (CCI-P mdata)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    issued_at_ps: int = 0
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind in (
+            PacketKind.MMIO_READ,
+            PacketKind.MMIO_WRITE,
+            PacketKind.DMA_READ_REQ,
+            PacketKind.DMA_WRITE_REQ,
+        )
+
+    @property
+    def is_dma(self) -> bool:
+        return self.kind in (
+            PacketKind.DMA_READ_REQ,
+            PacketKind.DMA_READ_RESP,
+            PacketKind.DMA_WRITE_REQ,
+            PacketKind.DMA_WRITE_RESP,
+        )
+
+    @property
+    def is_mmio(self) -> bool:
+        return not self.is_dma
+
+    def wire_bytes_to_memory(self) -> int:
+        """Bytes this packet occupies on the FPGA->memory direction."""
+        if self.kind == PacketKind.DMA_WRITE_REQ:
+            return REQUEST_HEADER_BYTES + self.size
+        return SMALL_PACKET_BYTES
+
+    def wire_bytes_from_memory(self) -> int:
+        """Bytes this packet occupies on the memory->FPGA direction."""
+        if self.kind == PacketKind.DMA_READ_RESP:
+            return REQUEST_HEADER_BYTES + self.size
+        return SMALL_PACKET_BYTES
+
+    def make_response(self, data: Optional[bytes] = None) -> "Packet":
+        """Build the response packet for this request, preserving tags."""
+        kind_map = {
+            PacketKind.DMA_READ_REQ: PacketKind.DMA_READ_RESP,
+            PacketKind.DMA_WRITE_REQ: PacketKind.DMA_WRITE_RESP,
+            PacketKind.MMIO_READ: PacketKind.MMIO_RESPONSE,
+            PacketKind.MMIO_WRITE: PacketKind.MMIO_RESPONSE,
+        }
+        if self.kind not in kind_map:
+            raise ValueError(f"cannot respond to a {self.kind} packet")
+        return Packet(
+            kind=kind_map[self.kind],
+            address=self.address,
+            size=self.size,
+            space=self.space,
+            accel_id=self.accel_id,
+            data=data,
+            mdata=self.mdata,
+            issued_at_ps=self.issued_at_ps,
+        )
+
+
+def dma_read(address: int, size: int = CACHE_LINE_BYTES, *, space: AddressSpace = AddressSpace.GVA) -> Packet:
+    """Convenience constructor for a DMA read request."""
+    return Packet(kind=PacketKind.DMA_READ_REQ, address=address, size=size, space=space)
+
+
+def dma_write(
+    address: int,
+    data: Optional[bytes] = None,
+    size: Optional[int] = None,
+    *,
+    space: AddressSpace = AddressSpace.GVA,
+) -> Packet:
+    """Convenience constructor for a DMA write request."""
+    if size is None:
+        size = len(data) if data is not None else CACHE_LINE_BYTES
+    return Packet(kind=PacketKind.DMA_WRITE_REQ, address=address, size=size, data=data, space=space)

@@ -1,0 +1,159 @@
+"""Measurement instruments: bandwidth meters, latency recorders, counters.
+
+Experiments attach these to accelerators and links, run the platform for a
+warm-up interval, call :meth:`reset` on every instrument, run a measurement
+window, and then read rates/summaries.  Keeping warm-up out of the numbers
+matters: the first touches of a working set populate the IOTLB and would
+otherwise skew small-window measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.clock import PS_PER_S, to_ns
+from repro.sim.engine import Engine
+
+
+class BandwidthMeter:
+    """Counts bytes over a window and reports GB/s."""
+
+    def __init__(self, engine: Engine, name: str = "bw") -> None:
+        self.engine = engine
+        self.name = name
+        self.bytes_total = 0
+        self.packets_total = 0
+        self._window_start_ps = engine.now
+
+    def record(self, size_bytes: int) -> None:
+        self.bytes_total += size_bytes
+        self.packets_total += 1
+
+    def reset(self) -> None:
+        self.bytes_total = 0
+        self.packets_total = 0
+        self._window_start_ps = self.engine.now
+
+    @property
+    def window_ps(self) -> int:
+        return self.engine.now - self._window_start_ps
+
+    def gb_per_s(self) -> float:
+        """Average bandwidth over the window, in 1e9 bytes per second."""
+        window = self.window_ps
+        if window <= 0:
+            return 0.0
+        return self.bytes_total / window * PS_PER_S / 1e9
+
+
+class LatencyRecorder:
+    """Collects per-transaction latencies (in ps) and summarizes them."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self.samples_ps: List[int] = []
+
+    def record(self, latency_ps: int) -> None:
+        self.samples_ps.append(latency_ps)
+
+    def reset(self) -> None:
+        self.samples_ps = []
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ps)
+
+    def mean_ns(self) -> float:
+        if not self.samples_ps:
+            return 0.0
+        return to_ns(sum(self.samples_ps)) / len(self.samples_ps)
+
+    def percentile_ns(self, pct: float) -> float:
+        if not self.samples_ps:
+            return 0.0
+        ordered = sorted(self.samples_ps)
+        rank = min(len(ordered) - 1, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
+        return to_ns(ordered[rank])
+
+    def max_ns(self) -> float:
+        return to_ns(max(self.samples_ps)) if self.samples_ps else 0.0
+
+    def min_ns(self) -> float:
+        return to_ns(min(self.samples_ps)) if self.samples_ps else 0.0
+
+
+@dataclass
+class Counters:
+    """A named bag of monotonically increasing event counters."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.values)
+
+
+def normalized_range(values: List[float]) -> float:
+    """(max - min) / mean — the fairness metric of the paper's Table 3."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return (max(values) - min(values)) / mean
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, used when summarizing speedups across benchmarks."""
+    if not values:
+        return 0.0
+    log_sum = sum(math.log(v) for v in values if v > 0)
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(log_sum / len(positive))
+
+
+class UtilizationTracker:
+    """Tracks busy time of a resource (e.g. a physical accelerator).
+
+    The temporal-multiplexing fairness experiment (§6.8) uses this to check
+    each virtual accelerator's share of physical-accelerator time against
+    the share its scheduling policy promises.
+    """
+
+    def __init__(self, engine: Engine, name: str = "util") -> None:
+        self.engine = engine
+        self.name = name
+        self.busy_ps = 0
+        self._busy_since: Optional[int] = None
+
+    def begin(self) -> None:
+        if self._busy_since is None:
+            self._busy_since = self.engine.now
+
+    def end(self) -> None:
+        if self._busy_since is not None:
+            self.busy_ps += self.engine.now - self._busy_since
+            self._busy_since = None
+
+    def reset(self) -> None:
+        self.busy_ps = 0
+        if self._busy_since is not None:
+            self._busy_since = self.engine.now
+
+    def current_busy_ps(self) -> int:
+        extra = 0
+        if self._busy_since is not None:
+            extra = self.engine.now - self._busy_since
+        return self.busy_ps + extra

@@ -1,0 +1,21 @@
+"""Workload/input generators used by examples, tests, and experiments."""
+
+from repro.workloads.datagen import (
+    btc_header,
+    gray_image,
+    int16_samples,
+    random_bytes,
+    rgba_image,
+    rsd_records,
+    sw_records,
+)
+
+__all__ = [
+    "btc_header",
+    "gray_image",
+    "int16_samples",
+    "random_bytes",
+    "rgba_image",
+    "rsd_records",
+    "sw_records",
+]

@@ -1,0 +1,101 @@
+"""Deterministic input generators for the benchmark accelerators.
+
+Examples and tests need realistic, reproducible inputs: RGBA images for
+the filters, int16 sample streams for FIR, corrupted Reed-Solomon records
+for RSD, DNA-like records for Smith-Waterman, block headers for BTC.
+Everything is seeded so results are bit-for-bit stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.bitcoin import BlockHeader
+from repro.kernels.reed_solomon import ReedSolomon
+
+RSD_RECORD_BYTES = 256
+SW_RECORD_BYTES = 64
+SW_TARGET_BYTES = 60
+
+
+def random_bytes(size: int, *, seed: int = 0) -> bytes:
+    """Line-aligned random payload (for AES/MD5/SHA streams)."""
+    if size % 64:
+        raise ConfigurationError("stream sizes must be 64-byte aligned")
+    rng = np.random.RandomState(seed)
+    return rng.randint(0, 256, size=size, dtype=np.int64).astype(np.uint8).tobytes()
+
+
+def int16_samples(count: int, *, seed: int = 1, amplitude: int = 20000) -> np.ndarray:
+    """A noisy int16 signal for the FIR benchmark."""
+    rng = np.random.RandomState(seed)
+    t = np.arange(count)
+    tone = amplitude * 0.6 * np.sin(2 * np.pi * t / 64)
+    noise = rng.uniform(-amplitude * 0.4, amplitude * 0.4, size=count)
+    return (tone + noise).clip(-32768, 32767).astype(np.int16)
+
+
+def rgba_image(height: int, width: int, *, seed: int = 2) -> np.ndarray:
+    """An HxWx4 uint8 image with structure (gradients + noise)."""
+    rng = np.random.RandomState(seed)
+    y, x = np.mgrid[0:height, 0:width]
+    base = ((x * 255 // max(width - 1, 1)) + (y * 128 // max(height - 1, 1))) % 256
+    image = np.zeros((height, width, 4), dtype=np.uint8)
+    for channel in range(3):
+        noisy = base + rng.randint(-16, 17, size=base.shape)
+        image[:, :, channel] = np.clip(noisy, 0, 255).astype(np.uint8)
+    image[:, :, 3] = 255
+    return image
+
+
+def gray_image(height: int, width: int, *, seed: int = 3) -> np.ndarray:
+    """An HxW uint8 grayscale image with visible edges."""
+    image = rgba_image(height, width, seed=seed)
+    r = image[:, :, 0].astype(np.int32)
+    g = image[:, :, 1].astype(np.int32)
+    b = image[:, :, 2].astype(np.int32)
+    return ((77 * r + 150 * g + 29 * b) >> 8).astype(np.uint8)
+
+
+def rsd_records(
+    count: int, *, errors_per_block: int = 5, seed: int = 4
+) -> Tuple[bytes, List[bytes]]:
+    """``count`` corrupted RS(255,223) records plus the clean messages."""
+    rs = ReedSolomon(255, 223)
+    rng = np.random.RandomState(seed)
+    records = bytearray()
+    messages: List[bytes] = []
+    for _ in range(count):
+        message = bytes(rng.randint(0, 256, size=223, dtype=np.int64).tolist())
+        messages.append(message)
+        codeword = bytearray(rs.encode(message))
+        positions = rng.choice(255, size=errors_per_block, replace=False)
+        for position in positions:
+            codeword[position] ^= int(rng.randint(1, 256))
+        records += bytes(codeword) + bytes(RSD_RECORD_BYTES - 255)
+    return bytes(records), messages
+
+
+def sw_records(count: int, *, seed: int = 5) -> bytes:
+    """``count`` 64-byte Smith-Waterman target records."""
+    rng = np.random.RandomState(seed)
+    records = bytearray()
+    for _ in range(count):
+        payload = rng.randint(1, 256, size=SW_TARGET_BYTES, dtype=np.int64)
+        records += bytes(payload.tolist()) + bytes(SW_RECORD_BYTES - SW_TARGET_BYTES)
+    return bytes(records)
+
+
+def btc_header(*, seed: int = 6) -> BlockHeader:
+    """A deterministic pseudo block header for the miner."""
+    rng = np.random.RandomState(seed)
+    return BlockHeader(
+        version=2,
+        prev_hash=bytes(rng.randint(0, 256, size=32, dtype=np.int64).tolist()),
+        merkle_root=bytes(rng.randint(0, 256, size=32, dtype=np.int64).tolist()),
+        timestamp=1_584_000_000,  # ASPLOS 2020 week
+        bits=0x1D00FFFF,
+    )

@@ -1,0 +1,108 @@
+"""Fast smoke tests for every experiment module (tiny parameters).
+
+The benchmark suite runs the real, paper-shaped configurations; these
+smoke tests keep the experiment code covered by plain ``pytest tests/``
+with seconds-scale runtimes.
+"""
+
+import pytest
+
+from repro.accel.membench import MODE_READ
+from repro.experiments import (
+    ablations,
+    fig1_sssp,
+    fig4_overhead,
+    fig5_latency,
+    fig6_throughput,
+    fig7_scaling,
+    fig8_temporal,
+    sec68_schedulers,
+    table2_resources,
+    table3_fairness,
+    table4_colocation,
+)
+from repro.mem import PAGE_SIZE_2M
+
+
+def test_fig1_smoke():
+    table = fig1_sssp.run(n_vertices=2_000, edge_counts=[8_000, 24_000])
+    assert len(table.rows) == 2
+    gains = fig1_sssp.speedups(table)
+    assert len(gains["native"]) == 2
+
+
+def test_table2_smoke():
+    table = table2_resources.run()
+    assert len(table.rows) == 16  # shell + monitor + 14 benchmarks
+    assert 6.0 < table2_resources.utilization_gain() < 9.0
+
+
+def test_fig4_latency_only_smoke():
+    tables = fig4_overhead.run(
+        hops=300, window_us=40, graph_vertices=2_000, graph_edges=8_000
+    )
+    lat = {row[0]: row[3] for row in tables["latency"].rows}
+    assert lat["UPI"] > 100.0  # OPTIMUS adds latency
+    thr = {row[0]: row[3] for row in tables["throughput"].rows}
+    assert set(thr) == set(fig4_overhead.PAPER_THROUGHPUT)
+
+
+def test_fig5_smoke():
+    tables = fig5_latency.run(
+        page_size=PAGE_SIZE_2M,
+        working_sets=["64M", "4G"],
+        job_counts=[1],
+        hops_per_job=400,
+    )
+    upi = {row[0]: row[1] for row in tables["UPI"].rows}
+    assert upi["4G"] > upi["64M"]
+
+
+def test_fig6_smoke():
+    table = fig6_throughput.run(
+        page_size=PAGE_SIZE_2M,
+        working_sets=["64M", "8G"],
+        job_counts=[1],
+        mode=MODE_READ,
+    )
+    values = {row[0]: row[1] for row in table.rows}
+    assert values["8G"] < values["64M"]
+
+
+def test_fig7_smoke():
+    table = fig7_scaling.run(benchmarks=["AES", "GRN"], job_counts=[1, 2])
+    for row in table.rows:
+        assert float(row[-1]) > 1.4  # two jobs nearly double
+
+
+def test_fig8_smoke():
+    table = fig8_temporal.run(
+        benchmarks=["MB"], job_counts=[1, 2], time_slice_ms=2.0, run_ms=8.0
+    )
+    series = [float(v) for v in table.rows[0][1:-1]]
+    assert series[0] == 1.0
+    assert 0.8 < series[1] <= 1.0
+
+
+def test_table3_smoke():
+    table = table3_fairness.run(benchmarks=["MB"], window_us=150)
+    assert float(table.rows[0][1]) < 500  # x1e-4
+
+
+def test_table4_smoke():
+    table = table4_colocation.run(colocated=["GRN"], window_us=60)
+    assert float(table.rows[0][2]) > 0.8
+
+
+def test_sec68_smoke():
+    table = sec68_schedulers.run(oversubscription=[2], slice_ms=1.0, run_ms=10.0)
+    errors = [float(row[-1]) for row in table.rows]
+    assert max(errors) < 12.0
+
+
+def test_ablations_smoke():
+    mux = ablations.mux_tree_study()
+    assert {row[0] for row in mux.rows} == {2, 4, 8}
+    weighted = ablations.weighted_bandwidth_study(window_us=60)
+    shares = [float(row[2]) for row in weighted.rows]
+    assert shares[0] > shares[1]

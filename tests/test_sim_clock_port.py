@@ -1,0 +1,152 @@
+"""Unit tests for clocks, throughput servers, and round-robin arbitration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Clock, Engine, RoundRobinArbiter, ThroughputServer
+from repro.sim.clock import gbps_to_bytes_per_ps, bytes_per_ps_to_gbps, ns, us, ms
+
+
+class TestClock:
+    def test_period_of_common_frequencies(self):
+        assert Clock(400.0).period_ps == 2_500
+        assert Clock(200.0).period_ps == 5_000
+        assert Clock(100.0).period_ps == 10_000
+
+    def test_cycles_duration(self):
+        assert Clock(400.0).cycles(4) == 10_000
+
+    def test_next_edge_alignment(self):
+        clock = Clock(400.0)
+        assert clock.next_edge(0) == 0
+        assert clock.next_edge(1) == 2_500
+        assert clock.next_edge(2_500) == 2_500
+        assert clock.next_edge(2_501) == 5_000
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Clock(0)
+
+    def test_time_unit_helpers(self):
+        assert ns(1) == 1_000
+        assert us(1) == 1_000_000
+        assert ms(10) == 10_000_000_000
+
+    def test_bandwidth_round_trip(self):
+        assert bytes_per_ps_to_gbps(gbps_to_bytes_per_ps(12.8)) == pytest.approx(12.8)
+
+
+class TestThroughputServer:
+    def test_single_packet_latency_plus_service(self):
+        engine = Engine()
+        # 1 byte per ps; 64-byte packet; 100 ps latency.
+        server = ThroughputServer(engine, "s", 1.0, latency_ps=100)
+        arrivals = []
+        server.submit(64, lambda: arrivals.append(engine.now))
+        engine.run()
+        assert arrivals == [164]
+
+    def test_back_to_back_packets_queue(self):
+        engine = Engine()
+        server = ThroughputServer(engine, "s", 1.0, latency_ps=0)
+        arrivals = []
+        for _ in range(3):
+            server.submit(100, lambda: arrivals.append(engine.now))
+        engine.run()
+        assert arrivals == [100, 200, 300]
+
+    def test_sustained_rate_matches_bandwidth(self):
+        engine = Engine()
+        rate = gbps_to_bytes_per_ps(10.0)
+        server = ThroughputServer(engine, "s", rate, latency_ps=0)
+        delivered = []
+        total_bytes = 0
+        for _ in range(1000):
+            server.submit(64, lambda: delivered.append(None))
+            total_bytes += 64
+        engine.run()
+        achieved_gbps = total_bytes / engine.now * 1000  # bytes/ps -> GB/s
+        assert achieved_gbps == pytest.approx(10.0, rel=0.05)
+
+    def test_backlog_reporting(self):
+        engine = Engine()
+        server = ThroughputServer(engine, "s", 1.0, latency_ps=0)
+        assert server.backlog_ps == 0
+        server.submit(500, lambda: None)
+        assert server.backlog_ps == 500
+
+    def test_invalid_configuration(self):
+        engine = Engine()
+        with pytest.raises(ConfigurationError):
+            ThroughputServer(engine, "s", 0.0)
+        with pytest.raises(ConfigurationError):
+            ThroughputServer(engine, "s", 1.0, latency_ps=-1)
+
+
+class TestRoundRobinArbiter:
+    def test_grants_rotate_among_persistent_requesters(self):
+        engine = Engine()
+        grants = []
+        arbiter = RoundRobinArbiter(
+            engine, "rr", n_inputs=3, period_ps=10, grant=lambda i, item: grants.append(i)
+        )
+        for _ in range(4):
+            for inp in range(3):
+                arbiter.push(inp, object())
+        engine.run()
+        assert len(grants) == 12
+        # Every input granted equally.
+        assert all(grants.count(i) == 4 for i in range(3))
+
+    def test_one_grant_per_period(self):
+        engine = Engine()
+        times = []
+        arbiter = RoundRobinArbiter(
+            engine, "rr", n_inputs=2, period_ps=10,
+            grant=lambda i, item: times.append(engine.now),
+        )
+        for _ in range(3):
+            arbiter.push(0, object())
+        engine.run()
+        assert times == [0, 10, 20]
+
+    def test_idle_arbiter_grants_at_next_edge(self):
+        engine = Engine()
+        times = []
+        arbiter = RoundRobinArbiter(
+            engine, "rr", n_inputs=2, period_ps=10,
+            grant=lambda i, item: times.append(engine.now),
+        )
+        engine.call_after(15, arbiter.push, 1, object())
+        engine.run()
+        assert times == [20]  # aligned to the next clock edge
+
+    def test_multi_cycle_items_hold_the_mux(self):
+        engine = Engine()
+        times = []
+        arbiter = RoundRobinArbiter(
+            engine, "rr", n_inputs=2, period_ps=10,
+            grant=lambda i, item: times.append(engine.now),
+            cost_cycles=lambda item: item,
+        )
+        arbiter.push(0, 4)  # holds for 4 cycles
+        arbiter.push(1, 1)
+        engine.run()
+        assert times == [0, 40]
+
+    def test_contended_bandwidth_split_is_fair(self):
+        engine = Engine()
+        counts = {0: 0, 1: 0}
+
+        def grant(i, item):
+            counts[i] += 1
+            # closed loop: immediately re-request
+            engine.call_after(0, arbiter.push, i, object())
+
+        arbiter = RoundRobinArbiter(engine, "rr", n_inputs=2, period_ps=10, grant=grant)
+        arbiter.push(0, object())
+        arbiter.push(1, object())
+        engine.run(until_ps=10_000)
+        total = counts[0] + counts[1]
+        assert total > 100
+        assert abs(counts[0] - counts[1]) <= 2

@@ -1,0 +1,197 @@
+"""Unit tests for the discrete-event engine, futures, and processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.call_after(300, order.append, "c")
+    engine.call_after(100, order.append, "a")
+    engine.call_after(200, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 300
+
+
+def test_same_time_events_fire_in_schedule_order():
+    engine = Engine()
+    order = []
+    for tag in ("first", "second", "third"):
+        engine.call_after(50, order.append, tag)
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.call_after(100, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.call_at(50, lambda: None)
+
+
+def test_run_until_time_limit_stops_early_and_advances_clock():
+    engine = Engine()
+    fired = []
+    engine.call_after(1000, fired.append, True)
+    engine.run(until_ps=500)
+    assert not fired
+    assert engine.now == 500
+    engine.run()
+    assert fired
+
+
+def test_future_resolves_and_callbacks_fire():
+    engine = Engine()
+    future = engine.future()
+    seen = []
+    future.add_done_callback(lambda f: seen.append(f.result()))
+    engine.call_after(10, future.set_result, 42)
+    engine.run()
+    assert seen == [42]
+    assert future.result() == 42
+
+
+def test_future_cannot_complete_twice():
+    engine = Engine()
+    future = engine.future()
+    future.set_result(1)
+    with pytest.raises(SimulationError):
+        future.set_result(2)
+
+
+def test_callback_added_after_completion_fires_immediately():
+    engine = Engine()
+    future = engine.completed_future("done")
+    seen = []
+    future.add_done_callback(lambda f: seen.append(f.result()))
+    assert seen == ["done"]
+
+
+def test_timer_future():
+    engine = Engine()
+    future = engine.timer(500, "tick")
+    assert engine.run_until(future) == "tick"
+    assert engine.now == 500
+
+
+def test_process_yield_delay():
+    engine = Engine()
+    marks = []
+
+    def body():
+        marks.append(engine.now)
+        yield 100
+        marks.append(engine.now)
+        yield 250
+        marks.append(engine.now)
+        return "finished"
+
+    process = engine.spawn(body())
+    result = engine.run_until(process.completion)
+    assert result == "finished"
+    assert marks == [0, 100, 350]
+
+
+def test_process_waits_on_future_and_receives_value():
+    engine = Engine()
+    future = engine.timer(75, "payload")
+
+    def body():
+        value = yield future
+        return value
+
+    process = engine.spawn(body())
+    assert engine.run_until(process.completion) == "payload"
+    assert engine.now == 75
+
+
+def test_process_waits_on_all_of_a_list():
+    engine = Engine()
+    futures = [engine.timer(t) for t in (10, 500, 200)]
+
+    def body():
+        yield list(futures)
+        return engine.now
+
+    process = engine.spawn(body())
+    assert engine.run_until(process.completion) == 500
+
+
+def test_process_exception_propagates_to_completion():
+    engine = Engine()
+
+    def body():
+        yield 10
+        raise ValueError("boom")
+
+    process = engine.spawn(body())
+    engine.run()
+    assert process.completion.done()
+    with pytest.raises(ValueError):
+        process.completion.result()
+
+
+def test_process_waiting_on_failing_future_sees_exception():
+    engine = Engine()
+    inner = engine.future()
+    engine.call_after(20, inner.set_exception, RuntimeError("inner"))
+
+    def body():
+        try:
+            yield inner
+        except RuntimeError as exc:
+            return f"caught {exc}"
+        return "not caught"
+
+    process = engine.spawn(body())
+    assert engine.run_until(process.completion) == "caught inner"
+
+
+def test_process_interrupt_stops_silently():
+    engine = Engine()
+    marks = []
+
+    def body():
+        marks.append("started")
+        yield 1000
+        marks.append("should not happen")
+
+    process = engine.spawn(body())
+    engine.run(until_ps=10)
+    process.interrupt()
+    engine.run()
+    assert marks == ["started"]
+    assert process.completion.done()
+
+
+def test_process_waiting_on_another_process():
+    engine = Engine()
+
+    def child():
+        yield 40
+        return 7
+
+    def parent():
+        child_proc = engine.spawn(child(), name="child")
+        value = yield child_proc
+        return value * 2
+
+    process = engine.spawn(parent())
+    assert engine.run_until(process.completion) == 14
+
+
+def test_negative_delay_is_an_error():
+    engine = Engine()
+
+    def body():
+        yield -5
+
+    process = engine.spawn(body())
+    engine.run()
+    with pytest.raises(SimulationError):
+        process.completion.result()

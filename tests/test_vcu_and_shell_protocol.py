@@ -1,0 +1,143 @@
+"""Protocol-level tests: raw MMIO against the shell/VCU, engine utilities."""
+
+import pytest
+
+from repro.core import (
+    REG_ACCEL_SELECT,
+    REG_DISABLE,
+    REG_MAGIC,
+    REG_RESET,
+    REG_SLICE_BASE,
+    REG_WINDOW_BASE,
+    REG_WINDOW_SIZE,
+    VCU_MAGIC,
+    accel_mmio_base,
+)
+from repro.errors import MmioFault, SimulationError
+from repro.fpga.shell import (
+    OPTIMUS_MAGIC,
+    REG_DEVICE_ID,
+    REG_NUM_ACCELERATORS,
+    REG_OPTIMUS_MAGIC,
+    SHELL_MMIO_BYTES,
+)
+from repro.mem import GB, MB, PAGE_SIZE_2M
+from repro.platform import PlatformMode, PlatformParams, build_platform
+from repro.sim import Engine
+from repro.sim.engine import any_of
+
+
+class TestShellRegisters:
+    def test_shell_discovery_registers(self):
+        platform = build_platform(PlatformParams(), n_accelerators=4)
+        shell = platform.shell
+        assert shell.mmio_read(REG_DEVICE_ID) == 0xA10
+        assert shell.mmio_read(REG_NUM_ACCELERATORS) == 4
+        # An OPTIMUS monitor is loaded: the magic answers.
+        assert shell.mmio_read(REG_OPTIMUS_MAGIC) == OPTIMUS_MAGIC
+
+    def test_passthrough_shell_has_no_optimus_magic(self):
+        platform = build_platform(PlatformParams(), mode=PlatformMode.PASSTHROUGH)
+        assert platform.shell.mmio_read(REG_OPTIMUS_MAGIC) == 0
+
+    def test_shell_registers_read_only(self):
+        platform = build_platform(PlatformParams(), n_accelerators=2)
+        with pytest.raises(MmioFault):
+            platform.shell.mmio_write(REG_DEVICE_ID, 1)
+
+    def test_unknown_shell_register_faults(self):
+        platform = build_platform(PlatformParams(), n_accelerators=2)
+        with pytest.raises(MmioFault):
+            platform.shell.mmio_read(0x100)
+
+
+class TestVcuProtocol:
+    def vcu(self, platform):
+        def write(reg, value):
+            platform.shell.mmio_write(SHELL_MMIO_BYTES + reg, value)
+
+        def read(reg):
+            return platform.shell.mmio_read(SHELL_MMIO_BYTES + reg)
+
+        return write, read
+
+    def test_full_offset_table_programming_sequence(self):
+        platform = build_platform(PlatformParams(), n_accelerators=4)
+        write, read = self.vcu(platform)
+        assert read(REG_MAGIC) == VCU_MAGIC
+        for index in range(4):
+            write(REG_ACCEL_SELECT, index)
+            write(REG_WINDOW_BASE, 0x1000000 * (index + 1))
+            write(REG_WINDOW_SIZE, 64 * GB)
+            write(REG_SLICE_BASE, index * (64 * GB + 128 * MB))
+        for index, auditor in enumerate(platform.monitor.auditors):
+            assert auditor.enabled
+            assert auditor.window_base == 0x1000000 * (index + 1)
+            expected_offset = index * (64 * GB + 128 * MB) - 0x1000000 * (index + 1)
+            assert auditor.offset == expected_offset
+
+    def test_disable_register(self):
+        platform = build_platform(PlatformParams(), n_accelerators=2)
+        write, _read = self.vcu(platform)
+        write(REG_ACCEL_SELECT, 1)
+        write(REG_WINDOW_BASE, 0)
+        write(REG_WINDOW_SIZE, PAGE_SIZE_2M)
+        write(REG_SLICE_BASE, 0)
+        assert platform.monitor.auditors[1].enabled
+        write(REG_DISABLE, 1)
+        assert not platform.monitor.auditors[1].enabled
+
+    def test_out_of_range_reset_faults(self):
+        platform = build_platform(PlatformParams(), n_accelerators=2)
+        write, _read = self.vcu(platform)
+        with pytest.raises(MmioFault):
+            write(REG_RESET, 5)
+
+    def test_mmio_outside_accel_pages_is_discarded(self):
+        platform = build_platform(PlatformParams(), n_accelerators=2)
+        # Offsets beyond the last accelerator page read as zeros, and
+        # writes vanish (no fault: real BARs behave this way).
+        high = SHELL_MMIO_BYTES + accel_mmio_base(7) + 0x10
+        platform.shell.mmio_write(high, 0x55)
+        assert platform.shell.mmio_read(high) == 0
+
+    def test_accel_page_isolation(self):
+        platform = build_platform(PlatformParams(), n_accelerators=3)
+        base = lambda i: SHELL_MMIO_BYTES + accel_mmio_base(i)
+        platform.shell.mmio_write(base(0) + 0x20, 111)
+        platform.shell.mmio_write(base(2) + 0x20, 333)
+        assert platform.shell.mmio_read(base(0) + 0x20) == 111
+        assert platform.shell.mmio_read(base(1) + 0x20) == 0
+        assert platform.shell.mmio_read(base(2) + 0x20) == 333
+
+
+class TestEngineAnyOf:
+    def test_first_completion_wins(self):
+        engine = Engine()
+        slow = engine.timer(1000, "slow")
+        fast = engine.timer(10, "fast")
+        combined = any_of(engine, [slow, fast])
+        winner = engine.run_until(combined)
+        assert winner is fast
+        assert engine.now == 10
+
+    def test_already_done_future_wins_immediately(self):
+        engine = Engine()
+        done = engine.completed_future("x")
+        pending = engine.future()
+        combined = any_of(engine, [pending, done])
+        assert combined.done()
+        assert combined.result() is done
+
+    def test_empty_list_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            any_of(engine, [])
+
+    def test_losers_still_complete(self):
+        engine = Engine()
+        a = engine.timer(10)
+        b = engine.timer(20)
+        any_of(engine, [a, b])
+        engine.run()
+        assert a.done() and b.done()

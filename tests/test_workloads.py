@@ -1,0 +1,73 @@
+"""Tests for the workload/input generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import ReedSolomon
+from repro.workloads import (
+    btc_header,
+    gray_image,
+    int16_samples,
+    random_bytes,
+    rgba_image,
+    rsd_records,
+    sw_records,
+)
+
+
+class TestDatagen:
+    def test_random_bytes_deterministic_and_aligned(self):
+        a = random_bytes(4096, seed=3)
+        b = random_bytes(4096, seed=3)
+        c = random_bytes(4096, seed=4)
+        assert a == b
+        assert a != c
+        with pytest.raises(ConfigurationError):
+            random_bytes(100)  # not line-aligned
+
+    def test_int16_samples_in_range(self):
+        samples = int16_samples(2048, seed=1)
+        assert samples.dtype == np.int16
+        assert samples.min() >= -32768 and samples.max() <= 32767
+        assert samples.std() > 1000  # actually a signal, not silence
+
+    def test_rgba_image_shape_and_alpha(self):
+        image = rgba_image(16, 32)
+        assert image.shape == (16, 32, 4)
+        assert image.dtype == np.uint8
+        assert (image[:, :, 3] == 255).all()
+
+    def test_gray_image_has_gradient_structure(self):
+        image = gray_image(16, 64, seed=2)
+        # The generator builds a left-to-right gradient: columns trend up.
+        left = image[:, :8].mean()
+        mid = image[:, 28:36].mean()
+        assert mid > left
+
+    def test_rsd_records_decode_back_to_messages(self):
+        records, messages = rsd_records(4, errors_per_block=6, seed=9)
+        rs = ReedSolomon(255, 223)
+        for index, message in enumerate(messages):
+            codeword = records[index * 256 : index * 256 + 255]
+            assert codeword != rs.encode(message)  # actually corrupted
+            assert rs.decode(codeword) == message  # but correctable
+
+    def test_rsd_records_are_line_aligned(self):
+        records, _messages = rsd_records(3)
+        assert len(records) == 3 * 256
+        assert len(records) % 64 == 0
+
+    def test_sw_records_layout(self):
+        records = sw_records(5, seed=1)
+        assert len(records) == 5 * 64
+        # Each record's 60-byte payload is non-zero; 4-byte pad is zero.
+        for i in range(5):
+            record = records[i * 64 : (i + 1) * 64]
+            assert any(record[:60])
+            assert record[60:] == bytes(4)
+
+    def test_btc_header_deterministic(self):
+        a, b = btc_header(seed=5), btc_header(seed=5)
+        assert a.serialize(0) == b.serialize(0)
+        assert len(a.serialize(0)) == 80
