@@ -1,0 +1,33 @@
+"""Fleet scaling — throughput grows with nodes; overload is bounded."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fleet_scaling
+
+
+def test_fleet_scaling(benchmark):
+    table = run_once(benchmark, fleet_scaling.run)
+    table.show()
+
+    for load in fleet_scaling.LOADS:
+        series = fleet_scaling.throughput_by_nodes(table, load)
+        assert len(series) == len(fleet_scaling.NODE_COUNTS)
+        # Aggregate placed-tenant throughput increases with node count at
+        # a fixed absolute offered rate.
+        assert all(b > a for a, b in zip(series, series[1:])), (load, series)
+
+    reject_col = table.columns.index("reject_rate")
+    nodes_col = table.columns.index("nodes")
+    by_cell = {
+        (int(row[nodes_col]), float(row[1])): float(row[reject_col])
+        for row in table.rows
+    }
+    # Admission control bounds overload gracefully: the under-provisioned
+    # single node sheds a meaningful share of the overload trace, and the
+    # full fleet absorbs nearly everything.
+    overload = max(fleet_scaling.LOADS)
+    assert by_cell[(1, overload)] > 0.3
+    assert by_cell[(max(fleet_scaling.NODE_COUNTS), overload)] < 0.1
+    # More capacity never rejects more.
+    for load in fleet_scaling.LOADS:
+        rates = [by_cell[(n, load)] for n in fleet_scaling.NODE_COUNTS]
+        assert all(b <= a for a, b in zip(rates, rates[1:])), (load, rates)

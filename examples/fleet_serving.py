@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fleet serving: four heterogeneous OPTIMUS FPGAs behind one front door.
+
+The paper runs one shared-memory FPGA; a provider runs racks of them.
+This walkthrough builds a four-node fleet (each node a different
+synthesized accelerator mix), generates a deterministic open-loop tenant
+request stream at 90% offered load, and serves it end-to-end through
+admission control:
+
+* the placement policy picks the node (least-loaded here), the node's
+  provider picks the slot with the paper's spatial-then-temporal logic;
+* sessions end and free capacity; queued requests drain FIFO;
+* the same seed always reproduces the identical placement trace.
+
+Run:  python examples/fleet_serving.py
+"""
+
+from repro.fleet import (
+    AdmissionConfig,
+    FleetCluster,
+    FleetService,
+    TrafficGenerator,
+    TrafficProfile,
+    make_policy,
+)
+
+
+def serve(seed: int) -> "ServeResult":
+    cluster = FleetCluster.build(4)
+    print(f"fleet: {len(cluster.nodes)} nodes, {cluster.total_slots} slots")
+    for node in cluster.nodes:
+        print(f"  {node.name}: {', '.join(node.spec.slots)}")
+
+    generator = TrafficGenerator(
+        TrafficProfile(load=0.9), fleet_slots=cluster.total_slots, seed=seed
+    )
+    requests = generator.generate(160)
+    print(f"\ntraffic: {len(requests)} requests at 90% offered load, seed {seed}")
+
+    service = FleetService(
+        cluster,
+        make_policy("best-fit"),
+        admission=AdmissionConfig(queue_limit=16, max_retries=3),
+    )
+    return service.serve(requests)
+
+
+def main() -> None:
+    result = serve(seed=42)
+    print("\nfirst five placement decisions:")
+    for line in result.metrics.trace[:5]:
+        print(f"  {line}")
+
+    print()
+    print(result.metrics.render())
+
+    # Determinism: a fresh fleet served from the same seed produces the
+    # identical trace, placement for placement.
+    again = serve(seed=42)
+    assert again.metrics.trace == result.metrics.trace
+    print("\nsame seed, fresh fleet: identical placement trace — reproducible")
+
+
+if __name__ == "__main__":
+    main()

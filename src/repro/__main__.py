@@ -3,15 +3,22 @@
 Usage::
 
     python -m repro list                 # what can be regenerated
+    python -m repro list --json          # same, machine-readable
     python -m repro run fig4             # one experiment
     python -m repro run all              # the whole evaluation section
+    python -m repro fleet --nodes 4 --load 0.9 --seed 1   # fleet serving
+
+``run`` exits non-zero if any experiment raises (and keeps going through
+the rest of ``all``, reporting every failure at the end).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+import traceback
 
 EXPERIMENTS = {
     "fig1": ("repro.experiments.fig1_sssp", "SSSP: shared-memory vs host-centric"),
@@ -25,18 +32,72 @@ EXPERIMENTS = {
     "table4": ("repro.experiments.table4_colocation", "MemBench co-location"),
     "sec68": ("repro.experiments.sec68_schedulers", "scheduler policy enforcement"),
     "ablations": ("repro.experiments.ablations", "mux tree / IOTLB / bandwidth ablations"),
+    "fleet_scaling": (
+        "repro.experiments.fleet_scaling",
+        "fleet throughput + rejections vs node count x offered load",
+    ),
 }
 
 
-def _run_one(key: str) -> None:
+def _run_one(key: str) -> bool:
+    """Run one experiment; returns False (instead of raising) on failure."""
     import importlib
 
     module_name, _description = EXPERIMENTS[key]
-    module = importlib.import_module(module_name)
     started = time.time()
     print(f"### {key}: {module_name} " + "#" * 20)
-    module.main()
+    try:
+        module = importlib.import_module(module_name)
+        module.main()
+    except Exception:
+        traceback.print_exc()
+        print(f"[{key} FAILED after {time.time() - started:.1f}s wall]")
+        return False
     print(f"[{key} done in {time.time() - started:.1f}s wall]")
+    return True
+
+
+def _fleet_command(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.fleet import (
+        AdmissionConfig,
+        FleetCluster,
+        FleetService,
+        TrafficGenerator,
+        TrafficProfile,
+        make_policy,
+    )
+
+    try:
+        cluster = FleetCluster.build(args.nodes, max_oversub=args.max_oversub)
+        generator = TrafficGenerator(
+            TrafficProfile(load=args.load),
+            fleet_slots=cluster.total_slots,
+            seed=args.seed,
+        )
+        service = FleetService(
+            cluster,
+            make_policy(args.policy),
+            admission=AdmissionConfig(queue_limit=args.queue, max_retries=args.retries),
+        )
+        result = service.serve(generator.generate(args.requests))
+    except ReproError as error:
+        print(f"fleet: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+    else:
+        print(
+            f"fleet: {args.nodes} nodes ({cluster.total_slots} slots), "
+            f"policy {args.policy}, load {args.load}, seed {args.seed}, "
+            f"{args.requests} requests"
+        )
+        print(result.metrics.render())
+    if args.trace:
+        print("\nplacement trace:")
+        for line in result.metrics.trace:
+            print(f"  {line}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -45,12 +106,49 @@ def main(argv=None) -> int:
         description="Regenerate the OPTIMUS paper's tables and figures.",
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("list", help="list available experiments")
+    lister = sub.add_parser("list", help="list available experiments")
+    lister.add_argument(
+        "--json", action="store_true", help="emit the registry as JSON"
+    )
     runner = sub.add_parser("run", help="run one experiment (or 'all')")
     runner.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+
+    fleet = sub.add_parser(
+        "fleet", help="serve deterministic tenant traffic on a multi-FPGA fleet"
+    )
+    fleet.add_argument("--nodes", type=int, default=4, help="fleet size")
+    fleet.add_argument("--load", type=float, default=0.9, help="offered load")
+    fleet.add_argument("--seed", type=int, default=1, help="traffic seed")
+    fleet.add_argument("--requests", type=int, default=200, help="request count")
+    fleet.add_argument(
+        "--policy",
+        default="best-fit",
+        choices=["first-fit", "best-fit", "affinity"],
+        help="placement policy",
+    )
+    fleet.add_argument("--queue", type=int, default=32, help="admission queue limit")
+    fleet.add_argument("--retries", type=int, default=3, help="max placement retries")
+    fleet.add_argument(
+        "--max-oversub", type=int, default=4, help="tenants per physical slot"
+    )
+    fleet.add_argument("--json", action="store_true", help="emit summary as JSON")
+    fleet.add_argument(
+        "--trace", action="store_true", help="print the full placement trace"
+    )
     args = parser.parse_args(argv)
 
+    if args.command == "fleet":
+        return _fleet_command(args)
+
     if args.command == "list" or args.command is None:
+        as_json = bool(getattr(args, "json", False))
+        if as_json:
+            registry = {
+                key: {"module": module, "description": description}
+                for key, (module, description) in EXPERIMENTS.items()
+            }
+            print(json.dumps(registry, indent=2))
+            return 0
         width = max(len(k) for k in EXPERIMENTS)
         for key, (_module, description) in EXPERIMENTS.items():
             print(f"  {key.ljust(width)}  {description}")
@@ -58,11 +156,12 @@ def main(argv=None) -> int:
         return 0
 
     if args.experiment == "all":
-        for key in EXPERIMENTS:
-            _run_one(key)
-    else:
-        _run_one(args.experiment)
-    return 0
+        failed = [key for key in EXPERIMENTS if not _run_one(key)]
+        if failed:
+            print(f"FAILED experiments: {', '.join(failed)}")
+            return 1
+        return 0
+    return 0 if _run_one(args.experiment) else 1
 
 
 if __name__ == "__main__":

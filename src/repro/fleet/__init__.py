@@ -1,0 +1,60 @@
+"""Fleet layer: many OPTIMUS FPGAs served as one request-driven cluster.
+
+The paper stops at one FPGA: :class:`repro.cloud.CloudProvider` places
+tenants onto a single configured device.  Real providers run *fleets* of
+heterogeneous FPGAs behind one admission point (SYNERGY, arXiv:2109.02484,
+virtualizes FPGAs cluster-wide; EMiX, arXiv:2604.27012, partitions work
+beyond single-device capacity).  This package adds that altitude without
+touching the single-node model:
+
+* :mod:`repro.fleet.node` — one ``CloudProvider`` + ``Platform`` wrapped as
+  a schedulable node with capacity and utilization accounting;
+* :mod:`repro.fleet.cluster` — N heterogeneous nodes behind one API;
+* :mod:`repro.fleet.placement` — pluggable policies (first-fit, best-fit,
+  config-affinity) reusing the paper's spatial-then-temporal logic;
+* :mod:`repro.fleet.admission` — bounded admission queue, rejection, and
+  retry-with-backoff, plus the event-driven serving loop;
+* :mod:`repro.fleet.traffic` — deterministic open-loop tenant request
+  streams (seeded arrivals, mixed accelerator types, session lifetimes);
+* :mod:`repro.fleet.metrics` — fleet-wide counters, placement-latency
+  percentiles, and time-weighted per-type utilization.
+
+Everything is driven in *fleet simulated time* (integer picoseconds, the
+same unit as :mod:`repro.sim.clock`): placement is a control-plane
+operation, so the per-node packet simulators stay idle while the fleet
+loop advances through arrivals, departures, and retries.
+"""
+
+from repro.fleet.admission import AdmissionConfig, FleetService, ServeResult
+from repro.fleet.cluster import DEFAULT_TEMPLATES, FleetCluster
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.node import FleetNode, NodeSpec
+from repro.fleet.placement import (
+    POLICIES,
+    BestFit,
+    ConfigAffinity,
+    FirstFit,
+    PlacementPolicy,
+    make_policy,
+)
+from repro.fleet.traffic import TenantRequest, TrafficGenerator, TrafficProfile
+
+__all__ = [
+    "AdmissionConfig",
+    "BestFit",
+    "ConfigAffinity",
+    "DEFAULT_TEMPLATES",
+    "FirstFit",
+    "FleetCluster",
+    "FleetMetrics",
+    "FleetNode",
+    "FleetService",
+    "NodeSpec",
+    "POLICIES",
+    "PlacementPolicy",
+    "ServeResult",
+    "TenantRequest",
+    "TrafficGenerator",
+    "TrafficProfile",
+    "make_policy",
+]

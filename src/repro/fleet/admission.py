@@ -1,0 +1,195 @@
+"""Admission control and the fleet's event-driven serving loop.
+
+Single-node placement (:meth:`repro.cloud.provider.CloudProvider.place`)
+throws ``SchedulerError`` the moment a request cannot be honored.  A fleet
+serving open-loop traffic cannot afford that: overload must degrade
+*gracefully*.  :class:`FleetService` therefore fronts the cluster with:
+
+* a **bounded queue** — requests that find no headroom wait, up to
+  ``queue_limit`` of them; arrivals beyond that are rejected outright;
+* **retry with exponential backoff** — each queued request re-attempts
+  placement after ``backoff_ps``, doubling per attempt, and is rejected
+  once ``max_retries`` attempts fail;
+* **departure-driven draining** — when a session ends and frees capacity,
+  the queue is scanned FIFO and every request that now fits is placed
+  immediately (no head-of-line blocking across accelerator types).
+
+The loop runs in fleet simulated time over a heap of arrival, retry, and
+departure events.  Ties break on insertion order, so a request trace is a
+pure function of (traffic seed, cluster shape, policy, admission config).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fleet.cluster import FleetCluster
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.placement import PlacementPolicy
+from repro.fleet.traffic import TenantRequest
+from repro.sim.clock import ms, us
+
+#: Control-plane cost of one placement, in simulated time: VM boot,
+#: mediated-device creation, window probe — dominated by trap-and-emulate
+#: MMIO (~1.5 us each, §2.1); a few dozen round trips.
+DEFAULT_PLACEMENT_COST_PS = us(50)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the admission controller."""
+
+    queue_limit: int = 32
+    max_retries: int = 3
+    backoff_ps: int = ms(2)
+    backoff_factor: float = 2.0
+    placement_cost_ps: int = DEFAULT_PLACEMENT_COST_PS
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 0 or self.max_retries < 0:
+            raise ConfigurationError("queue limit and retries must be >= 0")
+        if self.backoff_ps <= 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError("invalid backoff parameters")
+
+    def backoff_for(self, attempt: int) -> int:
+        """Delay before retry ``attempt`` (1-based)."""
+        return int(self.backoff_ps * self.backoff_factor ** (attempt - 1))
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one serving run."""
+
+    metrics: FleetMetrics
+    requests: int
+    span_ps: int
+
+    def summary(self) -> Dict[str, object]:
+        result = dict(self.metrics.summary())
+        result["requests"] = self.requests
+        result["span_ps"] = self.span_ps
+        return result
+
+
+@dataclass
+class _Pending:
+    request: TenantRequest
+    attempts: int = 0
+
+
+class FleetService:
+    """Serves a request trace against a cluster under admission control."""
+
+    def __init__(
+        self,
+        cluster: FleetCluster,
+        policy: PlacementPolicy,
+        *,
+        admission: Optional[AdmissionConfig] = None,
+        metrics: Optional[FleetMetrics] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.admission = admission or AdmissionConfig()
+        self.metrics = metrics or FleetMetrics()
+        self._heap: List[Tuple[int, int, str, object]] = []
+        self._seq = 0
+        self._pending: Dict[int, _Pending] = {}  # insertion order == FIFO
+
+    # -- event plumbing ---------------------------------------------------------------
+
+    def _push(self, time_ps: int, kind: str, payload: object) -> None:
+        heapq.heappush(self._heap, (time_ps, self._seq, kind, payload))
+        self._seq += 1
+
+    # -- the serving loop -------------------------------------------------------------
+
+    def serve(self, requests: Sequence[TenantRequest]) -> ServeResult:
+        """Run the full trace to quiescence; never raises ``SchedulerError``."""
+        for request in requests:
+            self._push(request.arrival_ps, "arrival", request)
+        now = 0
+        while self._heap:
+            now, _seq, kind, payload = heapq.heappop(self._heap)
+            self.metrics.sample_utilization(now, self.cluster)
+            if kind == "arrival":
+                self._on_arrival(payload, now)
+            elif kind == "retry":
+                self._on_retry(payload, now)
+            else:  # departure
+                self._on_departure(payload, now)
+        return ServeResult(metrics=self.metrics, requests=len(requests), span_ps=now)
+
+    # -- event handlers ---------------------------------------------------------------
+
+    def _on_arrival(self, request: TenantRequest, now: int) -> None:
+        if self.cluster.capacity(request.accel_type) == 0:
+            self.metrics.record_rejection(
+                now_ps=now, request=request, reason="unsupported"
+            )
+            return
+        if self._try_place(request, now):
+            return
+        if len(self._pending) >= self.admission.queue_limit:
+            self.metrics.record_rejection(
+                now_ps=now, request=request, reason="queue_full"
+            )
+            return
+        self._pending[request.request_id] = _Pending(request)
+        self.metrics.record_queued(
+            now_ps=now, request=request, depth=len(self._pending)
+        )
+        self._push(now + self.admission.backoff_for(1), "retry", request.request_id)
+
+    def _on_retry(self, request_id: int, now: int) -> None:
+        entry = self._pending.get(request_id)
+        if entry is None:  # already placed by a departure drain
+            return
+        entry.attempts += 1
+        self.metrics.record_retry(
+            now_ps=now, request=entry.request, attempt=entry.attempts
+        )
+        if self._try_place(entry.request, now):
+            del self._pending[request_id]
+            return
+        if entry.attempts >= self.admission.max_retries:
+            del self._pending[request_id]
+            self.metrics.record_rejection(
+                now_ps=now, request=entry.request, reason="retries_exhausted"
+            )
+            return
+        self._push(
+            now + self.admission.backoff_for(entry.attempts + 1), "retry", request_id
+        )
+
+    def _on_departure(self, tenant_name: str, now: int) -> None:
+        self.cluster.evict(tenant_name)
+        self.metrics.record_departure(now_ps=now, tenant=tenant_name)
+        # FIFO drain: place every waiting request that now fits.  Requests
+        # for still-saturated types stay queued without blocking others.
+        for request_id in list(self._pending):
+            entry = self._pending[request_id]
+            if self._try_place(entry.request, now):
+                del self._pending[request_id]
+
+    # -- placement --------------------------------------------------------------------
+
+    def _try_place(self, request: TenantRequest, now: int) -> bool:
+        placed = self.cluster.place(request.tenant, request.accel_type, self.policy)
+        if placed is None:
+            return False
+        node, tenant = placed
+        done = now + self.admission.placement_cost_ps
+        self.metrics.record_placement(
+            now_ps=now,
+            request=request,
+            node_name=node.name,
+            physical_index=tenant.physical_index,
+            temporal=tenant.oversubscribed,
+            latency_ps=done - request.arrival_ps,
+        )
+        self._push(done + request.session_ps, "departure", request.tenant)
+        return True

@@ -1,0 +1,197 @@
+"""Fleet-wide measurement: counters, latency percentiles, utilization.
+
+Aggregates the same :mod:`repro.sim.stats` instruments the single-node
+experiments use — a :class:`~repro.sim.stats.Counters` bag for admission
+events and a :class:`~repro.sim.stats.LatencyRecorder` for placement
+latency (queueing delay + control-plane placement cost, in simulated
+time) — and adds two fleet-only figures:
+
+* **time-weighted per-type utilization**, integrated over the serving run
+  (occupancy x time over capacity x time, so 1.0 means every physical
+  slot of the type held exactly one tenant the whole run; values above
+  1.0 mean temporal oversubscription);
+* a **placement trace**: one line per admission decision, identical
+  across runs with the same seed and policy, with a digest for quick
+  reproducibility checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.sim.stats import Counters, LatencyRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.cluster import FleetCluster
+
+
+class FleetMetrics:
+    """One serving run's worth of fleet-wide measurements."""
+
+    def __init__(self) -> None:
+        self.counters = Counters()
+        self.placement_latency = LatencyRecorder("fleet.placement")
+        self.placed_by_type: Dict[str, int] = {}
+        self.trace: List[str] = []
+        self._util_integral_ps: Dict[str, float] = {}
+        self._capacity: Dict[str, int] = {}
+        self._last_sample_ps = 0
+        self._span_ps = 0
+
+    # -- event recording --------------------------------------------------------------
+
+    def record_placement(
+        self,
+        *,
+        now_ps: int,
+        request,
+        node_name: str,
+        physical_index: int,
+        temporal: bool,
+        latency_ps: int,
+    ) -> None:
+        self.counters.bump("placements")
+        self.counters.bump("placements_temporal" if temporal else "placements_spatial")
+        self.placed_by_type[request.accel_type] = (
+            self.placed_by_type.get(request.accel_type, 0) + 1
+        )
+        self.placement_latency.record(latency_ps)
+        mode = "temporal" if temporal else "spatial"
+        self.trace.append(
+            f"{now_ps} {request.tenant} {request.accel_type} -> "
+            f"{node_name}/slot{physical_index} {mode} wait={latency_ps}"
+        )
+
+    def record_queued(self, *, now_ps: int, request, depth: int) -> None:
+        self.counters.bump("queued")
+        self.trace.append(
+            f"{now_ps} {request.tenant} {request.accel_type} -> queued depth={depth}"
+        )
+
+    def record_retry(self, *, now_ps: int, request, attempt: int) -> None:
+        self.counters.bump("retries")
+        self.trace.append(
+            f"{now_ps} {request.tenant} {request.accel_type} -> retry#{attempt}"
+        )
+
+    def record_rejection(self, *, now_ps: int, request, reason: str) -> None:
+        self.counters.bump("rejections")
+        self.counters.bump(f"rejections_{reason}")
+        self.trace.append(
+            f"{now_ps} {request.tenant} {request.accel_type} -> rejected ({reason})"
+        )
+
+    def record_departure(self, *, now_ps: int, tenant: str) -> None:
+        self.counters.bump("departures")
+
+    # -- utilization integration --------------------------------------------------------
+
+    def sample_utilization(self, now_ps: int, cluster: "FleetCluster") -> None:
+        """Integrate occupancy up to ``now_ps``; call *before* state changes."""
+        if not self._capacity:
+            self._capacity = {t: cluster.capacity(t) for t in cluster.offered_types()}
+        elapsed = now_ps - self._last_sample_ps
+        if elapsed > 0:
+            for accel_type in self._capacity:
+                self._util_integral_ps[accel_type] = (
+                    self._util_integral_ps.get(accel_type, 0.0)
+                    + cluster.occupancy(accel_type) * elapsed
+                )
+            self._span_ps += elapsed
+        self._last_sample_ps = now_ps
+
+    def utilization_by_type(self) -> Dict[str, float]:
+        """Time-weighted tenants-per-slot per type over the whole run."""
+        if not self._span_ps:
+            return {t: 0.0 for t in self._capacity}
+        return {
+            accel_type: self._util_integral_ps.get(accel_type, 0.0)
+            / (self._span_ps * capacity)
+            for accel_type, capacity in sorted(self._capacity.items())
+            if capacity
+        }
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def oversubscription_ratio(self) -> float:
+        """Share of placements that had to share a slot temporally."""
+        placed = self.counters.get("placements")
+        if not placed:
+            return 0.0
+        return self.counters.get("placements_temporal") / placed
+
+    def rejection_rate(self) -> float:
+        total = self.counters.get("placements") + self.counters.get("rejections")
+        if not total:
+            return 0.0
+        return self.counters.get("rejections") / total
+
+    def trace_digest(self) -> str:
+        """A stable fingerprint of the placement trace (reproducibility)."""
+        payload = "\n".join(self.trace).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def summary(self) -> Dict[str, object]:
+        latency: Optional[Dict[str, float]] = self.placement_latency.summary()
+        return {
+            "placements": self.counters.get("placements"),
+            "placements_spatial": self.counters.get("placements_spatial"),
+            "placements_temporal": self.counters.get("placements_temporal"),
+            "rejections": self.counters.get("rejections"),
+            "rejections_queue_full": self.counters.get("rejections_queue_full"),
+            "rejections_retries_exhausted": self.counters.get(
+                "rejections_retries_exhausted"
+            ),
+            "rejections_unsupported": self.counters.get("rejections_unsupported"),
+            "queued": self.counters.get("queued"),
+            "retries": self.counters.get("retries"),
+            "departures": self.counters.get("departures"),
+            "rejection_rate": self.rejection_rate(),
+            "oversubscription_ratio": self.oversubscription_ratio(),
+            "placement_latency": latency,  # None when nothing was placed
+            "placed_by_type": dict(sorted(self.placed_by_type.items())),
+            "utilization_by_type": self.utilization_by_type(),
+            "trace_digest": self.trace_digest(),
+        }
+
+    def render(self) -> str:
+        summary = self.summary()
+        lines = ["fleet serving summary", "=" * 21]
+        lines.append(
+            f"placements: {summary['placements']} "
+            f"(spatial {summary['placements_spatial']}, "
+            f"temporal {summary['placements_temporal']})"
+        )
+        lines.append(
+            f"rejections: {summary['rejections']} "
+            f"(queue-full {summary['rejections_queue_full']}, "
+            f"retries-exhausted {summary['rejections_retries_exhausted']}, "
+            f"unsupported {summary['rejections_unsupported']}) "
+            f"rate {summary['rejection_rate']:.1%}"
+        )
+        lines.append(
+            f"queued: {summary['queued']}  retries: {summary['retries']}  "
+            f"departures: {summary['departures']}"
+        )
+        lines.append(f"oversubscription ratio: {summary['oversubscription_ratio']:.2f}")
+        latency = summary["placement_latency"]
+        if latency is None:
+            lines.append("placement latency: no placements")
+        else:
+            lines.append(
+                "placement latency: "
+                f"p50 {latency['p50_ns'] / 1e3:.1f} us  "
+                f"p95 {latency['p95_ns'] / 1e3:.1f} us  "
+                f"p99 {latency['p99_ns'] / 1e3:.1f} us"
+            )
+        util = summary["utilization_by_type"]
+        if util:
+            cells = "  ".join(f"{t}={u:.2f}" for t, u in util.items())
+            lines.append(f"per-type utilization (tenants/slot): {cells}")
+        placed = summary["placed_by_type"]
+        if placed:
+            cells = "  ".join(f"{t}={n}" for t, n in placed.items())
+            lines.append(f"placements by type: {cells}")
+        lines.append(f"trace: {len(self.trace)} events, digest {summary['trace_digest']}")
+        return "\n".join(lines)

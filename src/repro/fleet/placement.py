@@ -1,0 +1,107 @@
+"""Pluggable fleet placement policies.
+
+Each policy answers one question: *which node takes this request?*  Slot
+selection inside the chosen node then reuses the paper's logic verbatim
+(:meth:`repro.cloud.provider.CloudProvider.place`): spatial while an empty
+slot of the type exists, temporal onto the least-loaded slot once they run
+out.  All policies spill to temporal oversubscription only after every
+node's spatial capacity for the type is exhausted, and break ties by node
+order so placement is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.errors import ConfigurationError
+from repro.fleet.node import FleetNode
+
+
+class PlacementPolicy:
+    """Chooses the node for one request; ``None`` means fleet-saturated."""
+
+    name = "base"
+
+    def choose(self, nodes: Sequence[FleetNode], accel_type: str) -> Optional[FleetNode]:
+        raise NotImplementedError
+
+    # -- shared candidate filters ----------------------------------------------------
+
+    @staticmethod
+    def spatial(nodes: Sequence[FleetNode], accel_type: str) -> List[FleetNode]:
+        """Nodes with an empty physical slot of the type."""
+        return [n for n in nodes if n.free_slots(accel_type) > 0]
+
+    @staticmethod
+    def temporal(nodes: Sequence[FleetNode], accel_type: str) -> List[FleetNode]:
+        """Nodes that can still oversubscribe a slot of the type."""
+        return [n for n in nodes if n.can_place(accel_type, oversubscribe=True)]
+
+
+class FirstFit(PlacementPolicy):
+    """The first node (in fleet order) that fits; spatial before temporal."""
+
+    name = "first-fit"
+
+    def choose(self, nodes: Sequence[FleetNode], accel_type: str) -> Optional[FleetNode]:
+        spatial = self.spatial(nodes, accel_type)
+        if spatial:
+            return spatial[0]
+        temporal = self.temporal(nodes, accel_type)
+        return temporal[0] if temporal else None
+
+
+class BestFit(PlacementPolicy):
+    """The least-loaded node that fits; spatial before temporal."""
+
+    name = "best-fit"
+
+    def choose(self, nodes: Sequence[FleetNode], accel_type: str) -> Optional[FleetNode]:
+        spatial = self.spatial(nodes, accel_type)
+        if spatial:
+            return min(spatial, key=lambda n: n.load)
+        temporal = self.temporal(nodes, accel_type)
+        if temporal:
+            return min(temporal, key=lambda n: n.load)
+        return None
+
+
+class ConfigAffinity(PlacementPolicy):
+    """Prefer nodes specialized for the type, spilling to temporal.
+
+    Affinity is the type's share of a node's slots: a node synthesized with
+    four AES slots out of six is a better home for AES tenants than one
+    carrying a single AES slot, because its same-type pool gives the
+    paper's least-loaded temporal spill more room before any tenant's
+    share degrades.  Spatial placements go to the highest-affinity node
+    with an empty slot; once spatial capacity for the type is gone
+    fleet-wide, the spill goes to the highest-affinity node with temporal
+    headroom (load breaks affinity ties).
+    """
+
+    name = "affinity"
+
+    def choose(self, nodes: Sequence[FleetNode], accel_type: str) -> Optional[FleetNode]:
+        spatial = self.spatial(nodes, accel_type)
+        if spatial:
+            return max(spatial, key=lambda n: (n.affinity(accel_type), -n.load))
+        temporal = self.temporal(nodes, accel_type)
+        if temporal:
+            return max(temporal, key=lambda n: (n.affinity(accel_type), -n.load))
+        return None
+
+
+POLICIES: Dict[str, Type[PlacementPolicy]] = {
+    FirstFit.name: FirstFit,
+    BestFit.name: BestFit,
+    ConfigAffinity.name: ConfigAffinity,
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown placement policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,120 @@
+"""Deterministic open-loop tenant traffic for the fleet.
+
+Requests arrive according to a seeded Poisson process whose rate is
+expressed as *offered load*: the fraction of the fleet's sustainable
+spatial placement rate.  With ``S`` physical slots and a mean session of
+``T`` seconds, the fleet can hold ``S`` concurrent tenants, i.e. sustain
+``S / T`` placements per second at full spatial occupancy; ``load=0.9``
+offers 90% of that, ``load=2.0`` is a 2x overload that admission control
+must absorb.  Accelerator types are drawn from a weighted mix and session
+lifetimes from an exponential distribution.
+
+Everything is driven by one ``numpy.random.RandomState(seed)`` in a single
+pass (the same discipline as :mod:`repro.workloads.datagen`), so a seed
+fully determines the request stream — and therefore, policies being
+deterministic, the fleet's entire placement trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import ms
+
+#: Default accelerator mix: streaming crypto/DSP heavy, with a tail of
+#: microbenchmark tenants — all types the default node templates offer.
+DEFAULT_MIX: Dict[str, float] = {
+    "AES": 0.25,
+    "SHA": 0.2,
+    "MD5": 0.15,
+    "FIR": 0.15,
+    "MB": 0.15,
+    "LL": 0.1,
+}
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    """One tenant asking for one accelerator for one session."""
+
+    request_id: int
+    tenant: str
+    accel_type: str
+    arrival_ps: int
+    session_ps: int
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Shape of the offered traffic, independent of fleet size."""
+
+    load: float = 0.9  # fraction of the fleet's sustainable placement rate
+    mix: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    mean_session_ps: int = ms(20)
+    min_session_ps: int = ms(1)
+
+    def __post_init__(self) -> None:
+        if self.load <= 0:
+            raise ConfigurationError("offered load must be positive")
+        if not self.mix or any(w <= 0 for w in self.mix.values()):
+            raise ConfigurationError("traffic mix needs positive weights")
+        if self.min_session_ps <= 0 or self.mean_session_ps < self.min_session_ps:
+            raise ConfigurationError("invalid session lifetime parameters")
+
+
+class TrafficGenerator:
+    """Seeded generator of open-loop request streams."""
+
+    def __init__(
+        self,
+        profile: TrafficProfile,
+        *,
+        fleet_slots: int,
+        seed: int = 0,
+    ) -> None:
+        if fleet_slots < 1:
+            raise ConfigurationError("fleet must have at least one slot")
+        self.profile = profile
+        self.fleet_slots = fleet_slots
+        self.seed = seed
+
+    @property
+    def mean_interarrival_ps(self) -> float:
+        """Open-loop spacing for the profile's offered load."""
+        sustainable_rate = self.fleet_slots / self.profile.mean_session_ps
+        return 1.0 / (sustainable_rate * self.profile.load)
+
+    def generate(self, count: int) -> List[TenantRequest]:
+        """``count`` requests, bit-for-bit stable for a given seed."""
+        if count < 1:
+            raise ConfigurationError("request count must be positive")
+        rng = np.random.RandomState(self.seed)
+        types, weights = self._normalized_mix()
+        gaps = rng.exponential(self.mean_interarrival_ps, size=count)
+        picks = rng.choice(len(types), size=count, p=weights)
+        sessions = rng.exponential(self.profile.mean_session_ps, size=count)
+
+        requests: List[TenantRequest] = []
+        now = 0
+        for index in range(count):
+            now += max(1, int(round(gaps[index])))
+            session = max(self.profile.min_session_ps, int(round(sessions[index])))
+            requests.append(
+                TenantRequest(
+                    request_id=index,
+                    tenant=f"t{index:05d}",
+                    accel_type=types[int(picks[index])],
+                    arrival_ps=now,
+                    session_ps=session,
+                )
+            )
+        return requests
+
+    def _normalized_mix(self) -> Tuple[List[str], np.ndarray]:
+        types = sorted(self.profile.mix)
+        weights = np.array([self.profile.mix[t] for t in types], dtype=float)
+        return types, weights / weights.sum()

@@ -18,7 +18,13 @@ from repro.sim.engine import Engine
 
 
 class BandwidthMeter:
-    """Counts bytes over a window and reports GB/s."""
+    """Counts bytes over a window and reports GB/s.
+
+    **Empty-window behavior:** before any simulated time elapses the
+    window has zero width, and :meth:`gb_per_s` returns ``0.0`` rather
+    than dividing by zero; :meth:`summary` returns ``None`` so callers
+    can distinguish "no window yet" from a genuinely idle link.
+    """
 
     def __init__(self, engine: Engine, name: str = "bw") -> None:
         self.engine = engine
@@ -47,9 +53,28 @@ class BandwidthMeter:
             return 0.0
         return self.bytes_total / window * PS_PER_S / 1e9
 
+    def summary(self) -> Optional[Dict[str, float]]:
+        """Window summary, or ``None`` for a zero-width window."""
+        if self.window_ps <= 0:
+            return None
+        return {
+            "gb_per_s": self.gb_per_s(),
+            "bytes": float(self.bytes_total),
+            "packets": float(self.packets_total),
+            "window_ps": float(self.window_ps),
+        }
+
 
 class LatencyRecorder:
-    """Collects per-transaction latencies (in ps) and summarizes them."""
+    """Collects per-transaction latencies (in ps) and summarizes them.
+
+    **Empty-sample behavior:** with no recorded samples every scalar
+    accessor (:meth:`mean_ns`, :meth:`percentile_ns`, :meth:`max_ns`,
+    :meth:`min_ns`) returns ``0.0`` — never ``NaN`` and never a raise —
+    so measurement loops can print summaries unconditionally.  Callers
+    that must distinguish "no samples" from "zero latency" should use
+    :meth:`summary`, which returns ``None`` when empty.
+    """
 
     def __init__(self, name: str = "latency") -> None:
         self.name = name
@@ -82,6 +107,20 @@ class LatencyRecorder:
 
     def min_ns(self) -> float:
         return to_ns(min(self.samples_ps)) if self.samples_ps else 0.0
+
+    def summary(self) -> Optional[Dict[str, float]]:
+        """NaN-free distribution summary, or ``None`` with no samples."""
+        if not self.samples_ps:
+            return None
+        return {
+            "count": float(self.count),
+            "mean_ns": self.mean_ns(),
+            "p50_ns": self.percentile_ns(50),
+            "p95_ns": self.percentile_ns(95),
+            "p99_ns": self.percentile_ns(99),
+            "min_ns": self.min_ns(),
+            "max_ns": self.max_ns(),
+        }
 
 
 @dataclass

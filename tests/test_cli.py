@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import json
+import sys
+import types
+
+import pytest
+
+from repro import __main__ as cli
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestList:
+    def test_plain_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "fig4" in out and "fleet_scaling" in out
+
+    def test_json_list_is_machine_readable(self, capsys):
+        code, out = run_cli(capsys, "list", "--json")
+        assert code == 0
+        registry = json.loads(out)
+        assert set(registry) == set(cli.EXPERIMENTS)
+        assert registry["fig4"]["module"] == "repro.experiments.fig4_overhead"
+        assert registry["fig4"]["description"]
+
+
+class TestRunExitCodes:
+    @pytest.fixture
+    def boom_experiment(self, monkeypatch):
+        module = types.ModuleType("tests._boom_experiment")
+
+        def main():
+            raise RuntimeError("deliberate experiment failure")
+
+        module.main = main
+        monkeypatch.setitem(sys.modules, "tests._boom_experiment", module)
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "boom", ("tests._boom_experiment", "always fails")
+        )
+
+    def test_failing_experiment_exits_nonzero(self, capsys, boom_experiment):
+        code, out = run_cli(capsys, "run", "boom")
+        assert code == 1
+        assert "FAILED" in out
+
+    def test_missing_module_exits_nonzero(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "ghost", ("repro.experiments.does_not_exist", "nope")
+        )
+        code, out = run_cli(capsys, "run", "ghost")
+        assert code == 1
+
+
+class TestFleetCommand:
+    def fleet_summary(self, capsys, *extra):
+        code, out = run_cli(
+            capsys, "fleet", "--nodes", "1", "--requests", "40",
+            "--seed", "5", "--json", *extra,
+        )
+        assert code == 0
+        return json.loads(out)
+
+    def test_fleet_json_summary(self, capsys):
+        summary = self.fleet_summary(capsys)
+        assert summary["requests"] == 40
+        assert summary["placements"] + summary["rejections"] == 40
+        assert summary["placement_latency"] is None or (
+            summary["placement_latency"]["p95_ns"] >= 0
+        )
+
+    def test_fleet_seed_reproduces_trace_digest(self, capsys):
+        first = self.fleet_summary(capsys)
+        second = self.fleet_summary(capsys)
+        assert first["trace_digest"] == second["trace_digest"]
+        assert first == second

@@ -118,6 +118,29 @@ class TestPlacement:
             assert moved == 1
         assert self_occupancies(provider) == [1, 1]
 
+    def test_oversubscription_spill_least_loaded(self):
+        # Free slots exhausted -> the temporal spill picks the
+        # least-loaded slot of the type, and the tenant sees it.
+        provider = self.make_provider(slots=("MB", "MB"))
+        t0 = provider.place("t0", "MB", window_bytes=16 * MB)
+        t1 = provider.place("t1", "MB", window_bytes=16 * MB)
+        assert {t0.physical_index, t1.physical_index} == {0, 1}
+        t2 = provider.place("t2", "MB", window_bytes=16 * MB)
+        assert t2.oversubscribed
+        t3 = provider.place("t3", "MB", window_bytes=16 * MB)
+        # t2 doubled up one slot; t3 must land on the other (occupancy
+        # 1) rather than stacking a third tenant onto t2's slot.
+        assert t3.physical_index != t2.physical_index
+        assert [provider._occupancy(i) for i in (0, 1)] == [2, 2]
+
+        # Disconnecting both tenants of one slot frees it for spatial
+        # placement again.
+        for tenant in (t2, t0 if t0.physical_index == t2.physical_index else t1):
+            provider.evict(tenant)
+        t4 = provider.place("t4", "MB", window_bytes=16 * MB)
+        assert not t4.oversubscribed
+        assert t4.physical_index == t2.physical_index
+
     def test_occupancy_report(self):
         provider = self.make_provider()
         provider.place("a", "MB", window_bytes=16 * MB)

@@ -1,0 +1,72 @@
+"""Tests for measurement instruments, especially empty-summary behavior."""
+
+from repro.sim.clock import ns, us
+from repro.sim.engine import Engine
+from repro.sim.stats import BandwidthMeter, Counters, LatencyRecorder
+
+
+class TestLatencyRecorderEmpty:
+    def test_scalars_are_zero_not_nan(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        assert recorder.mean_ns() == 0.0
+        assert recorder.percentile_ns(95) == 0.0
+        assert recorder.max_ns() == 0.0
+        assert recorder.min_ns() == 0.0
+
+    def test_summary_none_when_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.summary() is None
+        recorder.record(ns(100))
+        recorder.reset()
+        assert recorder.summary() is None
+
+
+class TestLatencyRecorderSummary:
+    def test_summary_fields(self):
+        recorder = LatencyRecorder()
+        for latency in (ns(100), ns(200), ns(300), ns(400)):
+            recorder.record(latency)
+        summary = recorder.summary()
+        assert summary is not None
+        assert summary["count"] == 4.0
+        assert summary["mean_ns"] == 250.0
+        assert summary["p50_ns"] == 200.0
+        assert summary["min_ns"] == 100.0
+        assert summary["max_ns"] == 400.0
+        assert summary["p99_ns"] == 400.0
+        # NaN-free by construction: every value equals itself.
+        assert all(value == value for value in summary.values())
+
+
+class TestBandwidthMeterWindow:
+    def test_zero_width_window(self):
+        engine = Engine()
+        meter = BandwidthMeter(engine)
+        meter.record(4096)
+        assert meter.window_ps == 0
+        assert meter.gb_per_s() == 0.0  # explicit: no divide-by-zero
+        assert meter.summary() is None
+
+    def test_summary_after_time_advances(self):
+        engine = Engine()
+        meter = BandwidthMeter(engine)
+        meter.record(1_000_000)
+        engine.run(until_ps=us(1))
+        summary = meter.summary()
+        assert summary is not None
+        assert summary["gb_per_s"] == meter.gb_per_s() > 0
+        assert summary["bytes"] == 1_000_000.0
+        assert summary["packets"] == 1.0
+
+
+class TestCounters:
+    def test_bump_and_snapshot(self):
+        counters = Counters()
+        counters.bump("x")
+        counters.bump("x", 2)
+        assert counters.get("x") == 3
+        assert counters.get("missing") == 0
+        snapshot = counters.snapshot()
+        counters.bump("x")
+        assert snapshot == {"x": 3}  # snapshot is a copy
