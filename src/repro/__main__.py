@@ -6,6 +6,9 @@ Usage::
     python -m repro list --json          # same, machine-readable
     python -m repro run fig4             # one experiment
     python -m repro run all              # the whole evaluation section
+    python -m repro run fig6 --jobs 8    # fan sweep cells across processes
+    python -m repro run fig5 --profile   # print a cProfile summary after
+    python -m repro run fig4 --reference # per-line reference timing path
     python -m repro fleet --nodes 4 --load 0.9 --seed 1   # fleet serving
 
 ``run`` exits non-zero if any experiment raises (and keeps going through
@@ -39,16 +42,20 @@ EXPERIMENTS = {
 }
 
 
-def _run_one(key: str) -> bool:
+def _run_one(key: str, jobs: int = 1) -> bool:
     """Run one experiment; returns False (instead of raising) on failure."""
     import importlib
+    import inspect
 
     module_name, _description = EXPERIMENTS[key]
     started = time.time()
     print(f"### {key}: {module_name} " + "#" * 20)
     try:
         module = importlib.import_module(module_name)
-        module.main()
+        if jobs > 1 and "jobs" in inspect.signature(module.main).parameters:
+            module.main(jobs=jobs)
+        else:
+            module.main()
     except Exception:
         traceback.print_exc()
         print(f"[{key} FAILED after {time.time() - started:.1f}s wall]")
@@ -112,6 +119,23 @@ def main(argv=None) -> int:
     )
     runner = sub.add_parser("run", help="run one experiment (or 'all')")
     runner.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent sweep cells across N worker processes",
+    )
+    runner.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top 25 cumulative entries",
+    )
+    runner.add_argument(
+        "--reference",
+        action="store_true",
+        help="disable the simulator fast path (timing-equivalent reference mode)",
+    )
 
     fleet = sub.add_parser(
         "fleet", help="serve deterministic tenant traffic on a multi-FPGA fleet"
@@ -155,13 +179,36 @@ def main(argv=None) -> int:
         print("\nrun with: python -m repro run <experiment|all>")
         return 0
 
-    if args.experiment == "all":
-        failed = [key for key in EXPERIMENTS if not _run_one(key)]
-        if failed:
-            print(f"FAILED experiments: {', '.join(failed)}")
-            return 1
-        return 0
-    return 0 if _run_one(args.experiment) else 1
+    if args.reference:
+        import os
+
+        from repro.platform.params import set_default_fast_path
+
+        # The env var also covers worker processes started via "spawn".
+        os.environ["REPRO_FAST_PATH"] = "0"
+        set_default_fast_path(False)
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        if args.experiment == "all":
+            failed = [key for key in EXPERIMENTS if not _run_one(key, jobs=args.jobs)]
+            if failed:
+                print(f"FAILED experiments: {', '.join(failed)}")
+                return 1
+            return 0
+        return 0 if _run_one(args.experiment, jobs=args.jobs) else 1
+    finally:
+        if profiler is not None:
+            import pstats
+
+            profiler.disable()
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(25)
 
 
 if __name__ == "__main__":

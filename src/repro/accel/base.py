@@ -93,6 +93,23 @@ class ExecutionContext:
     def write(self, gva: int, data: Optional[bytes] = None, size: Optional[int] = None) -> Future:
         return self.socket.dma.write(gva, data, size, channel=self.channel)
 
+    def read_burst(self, gva: int, size: int) -> Future:
+        """Read ``size`` contiguous bytes as one coalescible burst.
+
+        Timing-equivalent to issuing per-line :meth:`read` calls and
+        waiting for all of them; the future resolves to the joined bytes.
+        """
+        return self.socket.dma.read(gva, size, channel=self.channel, coalesced=True)
+
+    def write_burst(self, gva: int, data: Optional[bytes] = None, size: Optional[int] = None) -> Future:
+        """Write a contiguous burst (always expanded to per-line writes)."""
+        return self.socket.dma.write(gva, data, size, channel=self.channel, coalesced=True)
+
+    @property
+    def coalescing_enabled(self) -> bool:
+        """True when the simulator fast path is attached to this datapath."""
+        return self.socket.dma.fastpath is not None
+
     def cycles(self, n: float) -> int:
         """Compute time: ``n`` cycles of the accelerator's own clock, in ps."""
         return self.clock.cycles(n)

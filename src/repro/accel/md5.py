@@ -15,6 +15,7 @@ from repro.accel.base import AcceleratorProfile, ExecutionContext
 from repro.accel.streaming import REG_DST, StreamingJob
 from repro.fpga.resources import ResourceFootprint, SynthesisCharacter
 from repro.kernels.md5 import md5_bytes
+from repro.sim.packet import CACHE_LINE_BYTES
 
 MD5_PROFILE = AcceleratorProfile(
     name="MD5",
@@ -59,8 +60,11 @@ class Md5Job(StreamingJob):
         dst = self.reg(REG_DST)
         if dst and self.functional:
             for index, digest in enumerate(self.digests):
-                record = digest + bytes(64 - len(digest))
-                yield ctx.write(dst + index * 64, record)
+                record = digest + bytes(CACHE_LINE_BYTES - len(digest))
+                yield ctx.write(dst + index * CACHE_LINE_BYTES, record)
         elif dst:
             n_records = max(1, self.cursor // CHUNK_BYTES)
-            yield [ctx.write(dst + i * 64) for i in range(min(n_records, 64))]
+            yield [
+                ctx.write(dst + i * CACHE_LINE_BYTES)
+                for i in range(min(n_records, 64))
+            ]

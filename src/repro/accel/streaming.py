@@ -83,6 +83,11 @@ class StreamingJob(AcceleratorJob):
     # -- execution ------------------------------------------------------------------
 
     def _issue_tile_reads(self, ctx: ExecutionContext, src: int, cursor: int, chunk: int):
+        if self.lines_per_request == 1 and ctx.coalescing_enabled:
+            # One burst per tile: the DMA engine either commits it on the
+            # simulator fast path (per-line timing expanded analytically)
+            # or splits it back into exactly the per-line reads below.
+            return [ctx.read_burst(src + cursor, chunk)]
         step = self.lines_per_request * CACHE_LINE_BYTES
         return [
             ctx.read(src + cursor + offset, min(step, chunk - offset))

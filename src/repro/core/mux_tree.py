@@ -76,12 +76,31 @@ class MuxNode:
         self._forward = forward
         scale = cost_per_line_cycles
 
-        def cost(item: TreeItem) -> float:
-            lines = _item_cycles(item)
-            if scale > 1.0 and item[0].kind is PacketKind.DMA_WRITE_REQ:
-                # Rate-paced root: writes ride the separate C1 channel.
-                return max(1.0, lines * scale * WRITE_ROOT_WEIGHT)
-            return lines * scale
+        # The cost function runs once per grant, across every node and
+        # packet in the tree; specialize the unscaled (non-root) case.
+        if scale == 1.0:
+            def cost(item: TreeItem) -> float:
+                size = item[0].size
+                if size <= CACHE_LINE_BYTES:
+                    return 1
+                return (size + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
+        elif scale > 1.0:
+            def cost(item: TreeItem) -> float:
+                packet = item[0]
+                size = packet.size
+                lines = (
+                    1
+                    if size <= CACHE_LINE_BYTES
+                    else (size + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
+                )
+                if packet.kind is PacketKind.DMA_WRITE_REQ:
+                    # Rate-paced root: writes ride the separate C1 channel.
+                    paced = lines * scale * WRITE_ROOT_WEIGHT
+                    return paced if paced > 1.0 else 1.0
+                return lines * scale
+        else:
+            def cost(item: TreeItem) -> float:
+                return _item_cycles(item) * scale
 
         self.arbiter = RoundRobinArbiter(
             engine,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.harness import OptimusStack, ResultTable
+from repro.experiments.harness import OptimusStack, ResultTable, parallel_map
 from repro.interconnect import VirtualChannel
 from repro.mem import GB, MB, PAGE_SIZE_2M, PAGE_SIZE_4K, format_size, parse_size
 from repro.platform import PlatformParams
@@ -66,20 +66,46 @@ def _mean_latency_ns(
     return sum(samples) / len(samples) / 1000 if samples else 0.0
 
 
+def _sweep_cell(cell) -> float:
+    """One grid point, as a picklable top-level worker for ``--jobs``."""
+    channel, page_size, total, n_jobs, hops_per_job = cell
+    return _mean_latency_ns(
+        channel,
+        page_size=page_size,
+        total_working_set=total,
+        n_jobs=n_jobs,
+        hops_per_job=hops_per_job,
+    )
+
+
 def run(
     *,
     page_size: int = PAGE_SIZE_2M,
     working_sets: Optional[List[str]] = None,
     job_counts: Optional[List[int]] = None,
     hops_per_job: int = 1200,
+    jobs: int = 1,
 ) -> Dict[str, ResultTable]:
-    """One table per channel (UPI, PCIe), rows = working sets x job counts."""
+    """One table per channel (UPI, PCIe), rows = working sets x job counts.
+
+    ``jobs`` fans the independent grid cells across processes; the merge
+    is order-preserving, so results are identical to a serial run.
+    """
     if working_sets is None:
         working_sets = WORKING_SETS_2M if page_size == PAGE_SIZE_2M else WORKING_SETS_4K
     job_counts = job_counts or JOB_COUNTS
     page_label = "2M" if page_size == PAGE_SIZE_2M else "4K"
+    channels = ((VirtualChannel.VL0, "UPI"), (VirtualChannel.VH0, "PCIe"))
+    cells = []
+    for channel, _label in channels:
+        for ws_label in working_sets:
+            total = parse_size(ws_label)
+            for n_jobs in job_counts:
+                if total // n_jobs >= page_size:
+                    cells.append((channel, page_size, total, n_jobs, hops_per_job))
+    values = iter(parallel_map(_sweep_cell, cells, jobs=jobs))
     results: Dict[str, ResultTable] = {}
-    for channel, label in ((VirtualChannel.VL0, "UPI"), (VirtualChannel.VH0, "PCIe")):
+    for channel, label in channels:
         table = ResultTable(
             f"Fig. 5 ({page_label} pages, {label} channel) — LL average latency (ns)",
             ["working_set"] + [f"{n}_jobs" for n in job_counts],
@@ -91,21 +117,13 @@ def run(
                 if total // n_jobs < page_size:
                     row.append(float("nan"))
                     continue
-                row.append(
-                    _mean_latency_ns(
-                        channel,
-                        page_size=page_size,
-                        total_working_set=total,
-                        n_jobs=n_jobs,
-                        hops_per_job=hops_per_job,
-                    )
-                )
+                row.append(next(values))
             table.add(*row)
         results[label] = table
     return results
 
 
-def main() -> None:
+def main(jobs: int = 1) -> None:
     # A trimmed default grid keeps the module runnable in about a minute;
     # pass the full paper grids for the complete figure.
     for page_size in (PAGE_SIZE_2M, PAGE_SIZE_4K):
@@ -114,7 +132,7 @@ def main() -> None:
             if page_size == PAGE_SIZE_2M
             else ["128K", "1M", "2M", "4M", "16M"]
         )
-        for table in run(page_size=page_size, working_sets=sets).values():
+        for table in run(page_size=page_size, working_sets=sets, jobs=jobs).values():
             table.show()
 
 

@@ -18,7 +18,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.accel.membench import MODE_READ, MODE_WRITE
-from repro.experiments.harness import OptimusStack, measure_progress, ResultTable
+from repro.experiments.harness import (
+    OptimusStack,
+    ResultTable,
+    measure_progress,
+    parallel_map,
+)
 from repro.mem import PAGE_SIZE_2M, PAGE_SIZE_4K, parse_size
 from repro.platform import PlatformParams
 from repro.sim.clock import us
@@ -57,12 +62,21 @@ def aggregate_throughput(
     return sum(rates)
 
 
+def _sweep_cell(cell) -> float:
+    """One grid point, as a picklable top-level worker for ``--jobs``."""
+    page_size, total, n_jobs, mode = cell
+    return aggregate_throughput(
+        page_size=page_size, total_working_set=total, n_jobs=n_jobs, mode=mode
+    )
+
+
 def run(
     *,
     page_size: int = PAGE_SIZE_2M,
     working_sets: Optional[List[str]] = None,
     job_counts: Optional[List[int]] = None,
     mode: int = MODE_READ,
+    jobs: int = 1,
 ) -> ResultTable:
     if working_sets is None:
         working_sets = WORKING_SETS_2M if page_size == PAGE_SIZE_2M else WORKING_SETS_4K
@@ -73,6 +87,13 @@ def run(
         f"Fig. 6 ({page_label} pages, {mode_label}) — aggregate MemBench GB/s",
         ["working_set"] + [f"{n}_jobs" for n in job_counts],
     )
+    cells = []
+    for ws_label in working_sets:
+        total = parse_size(ws_label)
+        for n_jobs in job_counts:
+            if total // n_jobs >= page_size:
+                cells.append((page_size, total, n_jobs, mode))
+    values = iter(parallel_map(_sweep_cell, cells, jobs=jobs))
     for ws_label in working_sets:
         total = parse_size(ws_label)
         row: List[object] = [ws_label]
@@ -80,14 +101,7 @@ def run(
             if total // n_jobs < page_size:
                 row.append(float("nan"))
                 continue
-            row.append(
-                aggregate_throughput(
-                    page_size=page_size,
-                    total_working_set=total,
-                    n_jobs=n_jobs,
-                    mode=mode,
-                )
-            )
+            row.append(next(values))
         table.add(*row)
     return table
 
@@ -117,16 +131,22 @@ def read_anomaly(*, page_size: int = PAGE_SIZE_4K) -> Dict[str, float]:
     }
 
 
-def main() -> None:
+def main(jobs: int = 1) -> None:
     from repro.experiments.plotting import show_chart
 
     trimmed_2m = ["64M", "512M", "1G", "2G", "8G"]
     trimmed_4k = ["128K", "1M", "2M", "4M", "16M"]
-    table_2m = run(page_size=PAGE_SIZE_2M, working_sets=trimmed_2m, mode=MODE_READ)
+    table_2m = run(
+        page_size=PAGE_SIZE_2M, working_sets=trimmed_2m, mode=MODE_READ, jobs=jobs
+    )
     table_2m.show()
     show_chart(table_2m, y_label="GB/s")
-    run(page_size=PAGE_SIZE_2M, working_sets=trimmed_2m, mode=MODE_WRITE).show()
-    run(page_size=PAGE_SIZE_4K, working_sets=trimmed_4k, mode=MODE_READ).show()
+    run(
+        page_size=PAGE_SIZE_2M, working_sets=trimmed_2m, mode=MODE_WRITE, jobs=jobs
+    ).show()
+    run(
+        page_size=PAGE_SIZE_4K, working_sets=trimmed_4k, mode=MODE_READ, jobs=jobs
+    ).show()
     anomaly = read_anomaly()
     print("read anomaly (1 job, <=2M region):", anomaly)
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, parallel_map
 from repro.fleet import (
     AdmissionConfig,
     FleetCluster,
@@ -70,6 +70,19 @@ def serve_fleet(
     return summary
 
 
+def _sweep_cell(cell) -> Dict[str, object]:
+    """One grid point, as a picklable top-level worker for ``--jobs``."""
+    n_nodes, load, requests, seed, policy, reference_nodes = cell
+    return serve_fleet(
+        n_nodes,
+        load,
+        requests=requests,
+        seed=seed,
+        policy=policy,
+        reference_nodes=reference_nodes,
+    )
+
+
 def run(
     *,
     node_counts: Optional[Sequence[int]] = None,
@@ -77,6 +90,7 @@ def run(
     requests: int = 240,
     seed: int = 7,
     policy: str = "best-fit",
+    jobs: int = 1,
 ) -> ResultTable:
     node_counts = list(node_counts or NODE_COUNTS)
     loads = list(loads or LOADS)
@@ -84,16 +98,15 @@ def run(
         "Fleet scaling — placed throughput and rejections vs nodes x load",
         ["nodes", "load", "placed", "rejected", "reject_rate", "p95_us", "placed_per_s"],
     )
+    cells = [
+        (n_nodes, load, requests, seed, policy, max(node_counts))
+        for load in loads
+        for n_nodes in node_counts
+    ]
+    summaries = iter(parallel_map(_sweep_cell, cells, jobs=jobs))
     for load in loads:
         for n_nodes in node_counts:
-            summary = serve_fleet(
-                n_nodes,
-                load,
-                requests=requests,
-                seed=seed,
-                policy=policy,
-                reference_nodes=max(node_counts),
-            )
+            summary = next(summaries)
             latency = summary["placement_latency"]
             table.add(
                 n_nodes,
@@ -118,8 +131,8 @@ def throughput_by_nodes(table: ResultTable, load: float) -> List[float]:
     ]
 
 
-def main() -> None:
-    table = run()
+def main(jobs: int = 1) -> None:
+    table = run(jobs=jobs)
     table.show()
     for load in sorted({float(row[1]) for row in table.rows}):
         series = throughput_by_nodes(table, load)

@@ -44,6 +44,7 @@ class LaunchedJob:
     job: AcceleratorJob
     handle: object  # GuestAccelerator or NativeAccelerator
     vaccel: Optional[VirtualAccelerator] = None
+    cache_line: int = 64  # progress granularity, from PlatformParams.cache_line
 
     def progress(self) -> int:
         return self.job.progress_units()
@@ -57,7 +58,7 @@ class LaunchedJob:
             return job.bytes_in
         if hasattr(job, "bytes_out"):
             return job.bytes_out
-        return job.progress_units() * 64
+        return job.progress_units() * self.cache_line
 
 
 def _configure_benchmark(
@@ -172,7 +173,13 @@ class OptimusStack:
         )
         for reg, value in registers.items():
             handle.mmio_write(reg, value)
-        launched = LaunchedJob(name=name, job=job, handle=handle, vaccel=vaccel)
+        launched = LaunchedJob(
+            name=name,
+            job=job,
+            handle=handle,
+            vaccel=vaccel,
+            cache_line=self.params.cache_line,
+        )
         self.jobs.append(launched)
         if start:
             handle.start()
@@ -221,12 +228,43 @@ class PassthroughStack:
         )
         job.configure(registers)
         self.hypervisor.start_job(job, channel=channel)
-        launched = LaunchedJob(name=name, job=job, handle=handle)
+        launched = LaunchedJob(
+            name=name, job=job, handle=handle, cache_line=self.params.cache_line
+        )
         self.jobs.append(launched)
         return launched
 
     def run_for(self, duration_ps: int) -> None:
         self.platform.run_for(duration_ps)
+
+
+# -- parallel sweeps ---------------------------------------------------------------
+
+
+def parallel_map(fn: Callable, items: Sequence, *, jobs: int = 1) -> List:
+    """Map ``fn`` over ``items``, optionally fanned across processes.
+
+    Experiment sweeps are grids of *independent* cells — each cell builds
+    its own engine, platform, and RNGs from explicit seeds — so they can
+    run in any process without changing results.  Results always come back
+    in ``items`` order regardless of worker scheduling, which makes the
+    merge deterministic and seed-stable: ``jobs=N`` produces the exact
+    table ``jobs=1`` does.
+
+    ``fn`` must be a module-level callable and every item picklable.  With
+    ``jobs <= 1`` (or a single item) this is a plain in-process loop.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    import multiprocessing as mp
+
+    try:
+        context = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = mp.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(fn, items)
 
 
 # -- measurement -----------------------------------------------------------------

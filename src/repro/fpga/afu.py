@@ -21,8 +21,9 @@ number in the paper:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, MmioFault
 from repro.interconnect.channel_selector import VirtualChannel
@@ -33,8 +34,12 @@ from repro.sim.packet import (
     AddressSpace,
     Packet,
     PacketKind,
+    make_dma_request,
 )
 from repro.sim.stats import BandwidthMeter, LatencyRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.platform.fastpath import FastPath
 
 #: A DMA sink accepts ``(packet, channel, on_response)`` — the auditor under
 #: OPTIMUS, the shell under pass-through.
@@ -121,11 +126,22 @@ class DmaEngine:
         self.issue_interval_cycles = issue_interval_cycles
         self.max_outstanding = max_outstanding
         self.spec_probe = spec_probe
+        # Precomputed throttle delays for the dominant single-line case.
+        self._interval_ps = clock.cycles(issue_interval_cycles)
+        self._spec_interval_ps = clock.cycles(1)
         self.sink: Optional[DmaSink] = None
         self._outstanding = 0
         self._next_issue_ps = 0
         self._wakeup_pending = False
         self._waiting: Deque[Tuple[Packet, VirtualChannel, Future]] = deque()
+        #: The simulator fast path, attached by the platform builder on the
+        #: pass-through datapath when ``params.fast_path`` is on.  ``None``
+        #: means every request takes the reference per-line path.
+        self.fastpath: Optional["FastPath"] = None
+        #: Completion times (a min-heap) of committed burst lines that hold
+        #: window slots but have no per-line completion events; slots free
+        #: as simulated time passes them (:meth:`_reap_virtual`).
+        self._virtual_completions: List[int] = []
         self.read_meter = BandwidthMeter(engine, f"afu{accel_id}.read")
         self.write_meter = BandwidthMeter(engine, f"afu{accel_id}.write")
         self.latency = LatencyRecorder(f"afu{accel_id}.latency")
@@ -139,14 +155,16 @@ class DmaEngine:
         size: int = CACHE_LINE_BYTES,
         *,
         channel: VirtualChannel = VirtualChannel.VA,
+        coalesced: bool = False,
     ) -> Future:
-        """Issue a DMA read; the future resolves to bytes (or None if dropped)."""
-        packet = Packet(
-            kind=PacketKind.DMA_READ_REQ,
-            address=address,
-            size=size,
-            space=AddressSpace.GVA,
-            accel_id=self.accel_id,
+        """Issue a DMA read; the future resolves to bytes (or None if dropped).
+
+        With ``coalesced=True`` a multi-line request is a *burst*: eligible
+        bursts commit on the simulator fast path, the rest are split into
+        the exact per-line packets the reference path would issue.
+        """
+        packet = make_dma_request(
+            PacketKind.DMA_READ_REQ, address, size, self.accel_id, coalesced=coalesced
         )
         return self._enqueue(packet, channel)
 
@@ -157,17 +175,23 @@ class DmaEngine:
         size: Optional[int] = None,
         *,
         channel: VirtualChannel = VirtualChannel.VA,
+        coalesced: bool = False,
     ) -> Future:
-        """Issue a DMA write; the future resolves to True (False if dropped)."""
+        """Issue a DMA write; the future resolves to True (False if dropped).
+
+        Write bursts are always split (never committed): posted-write
+        pipelines drain per line, and the fast path must not change that
+        granularity.
+        """
         if size is None:
             size = len(data) if data is not None else CACHE_LINE_BYTES
-        packet = Packet(
-            kind=PacketKind.DMA_WRITE_REQ,
-            address=address,
-            size=size,
+        packet = make_dma_request(
+            PacketKind.DMA_WRITE_REQ,
+            address,
+            size,
+            self.accel_id,
             data=data,
-            space=AddressSpace.GVA,
-            accel_id=self.accel_id,
+            coalesced=coalesced,
         )
         return self._enqueue(packet, channel)
 
@@ -180,18 +204,81 @@ class DmaEngine:
     def _enqueue(self, packet: Packet, channel: VirtualChannel) -> Future:
         if self.sink is None:
             raise ConfigurationError("DMA engine is not connected to a datapath")
+        if packet.coalesced:
+            packet.coalesced = False
+            if self.fastpath is not None and not self._waiting:
+                committed = self.fastpath.try_commit(self, packet, channel)
+                if committed is not None:
+                    return committed
+            if packet.size > CACHE_LINE_BYTES:
+                return self._split_burst(packet, channel)
+            # A single-line burst that could not commit is just an ordinary
+            # request; fall through to the reference path.
         future = self.engine.future()
         self._waiting.append((packet, channel, future))
         self._try_issue()
         return future
 
+    def _split_burst(self, packet: Packet, channel: VirtualChannel) -> Future:
+        """Decompose a burst into the reference path's per-line packets.
+
+        The sub-requests are enqueued in order at the current instant —
+        exactly what a non-coalescing caller would have done — and the
+        returned future resolves when the last of them does: the joined
+        payload for reads (dropped lines zero-filled, matching the
+        streaming pipeline's tolerance), all-acknowledged for writes.
+        """
+        parts: List[Future] = []
+        for offset in range(0, packet.size, CACHE_LINE_BYTES):
+            sub_size = min(CACHE_LINE_BYTES, packet.size - offset)
+            sub = make_dma_request(
+                packet.kind,
+                packet.address + offset,
+                sub_size,
+                packet.accel_id,
+                data=(
+                    packet.data[offset : offset + sub_size]
+                    if packet.data is not None
+                    else None
+                ),
+            )
+            parts.append(self._enqueue(sub, channel))
+        aggregate = self.engine.future()
+        remaining = [len(parts)]
+        is_read = packet.kind is PacketKind.DMA_READ_REQ
+
+        def on_part(_done: Future) -> None:
+            remaining[0] -= 1
+            if remaining[0]:
+                return
+            if is_read:
+                aggregate.set_result(
+                    b"".join(
+                        part.result()
+                        if part.result() is not None
+                        else bytes(min(CACHE_LINE_BYTES, packet.size - i * CACHE_LINE_BYTES))
+                        for i, part in enumerate(parts)
+                    )
+                )
+            else:
+                aggregate.set_result(all(part.result() for part in parts))
+
+        for part in parts:
+            part.add_done_callback(on_part)
+        return aggregate
+
     def _issue_interval_ps(self, packet: Packet) -> int:
         interval = self.issue_interval_cycles
         if interval > 1 and self.spec_probe is not None and self.spec_probe():
             interval = 1  # speculative streak: back-to-back issue (§6.5)
+            single = self._spec_interval_ps
+        else:
+            single = self._interval_ps
+        if packet.size <= CACHE_LINE_BYTES:
+            return single
         # Multi-line requests occupy the issue port once per cache line, so
         # aggregation cannot cheat the per-line throttle of §6.3.
-        lines = max(1, (packet.size + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES)
+        lines = (packet.size + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
         return self.clock.cycles(interval * lines)
 
     def _schedule_wakeup(self, at_ps: int) -> None:
@@ -200,24 +287,48 @@ class DmaEngine:
         if self._wakeup_pending:
             return
         self._wakeup_pending = True
-        self.engine.call_at(max(at_ps, self.engine.now), self._wakeup)
+        now = self.engine.now
+        self.engine.call_at(at_ps if at_ps > now else now, self._wakeup)
 
     def _wakeup(self) -> None:
         self._wakeup_pending = False
         self._try_issue()
 
+    def _reap_virtual(self) -> None:
+        """Release window slots of committed burst lines whose completion
+        time has passed.  Idempotent; callers may invoke it freely."""
+        vq = self._virtual_completions
+        now = self.engine.now
+        while vq and vq[0] <= now:
+            heapq.heappop(vq)
+            self._outstanding -= 1
+
     def _try_issue(self) -> None:
-        while self._waiting and self._outstanding < self.max_outstanding:
-            now = self.engine.now
+        if self._virtual_completions:
+            self._reap_virtual()
+        waiting = self._waiting
+        max_outstanding = self.max_outstanding
+        sink = self.sink
+        engine = self.engine
+        while waiting and self._outstanding < max_outstanding:
+            now = engine.now
             if now < self._next_issue_ps:
                 self._schedule_wakeup(self._next_issue_ps)
                 return
-            packet, channel, future = self._waiting.popleft()
+            packet, channel, future = waiting.popleft()
             self._outstanding += 1
             self._next_issue_ps = now + self._issue_interval_ps(packet)
             packet.issued_at_ps = now
-            assert self.sink is not None
-            self.sink(packet, channel, lambda resp, p=packet, f=future: self._complete(p, f, resp))
+            sink(packet, channel, lambda resp, p=packet, f=future: self._complete(p, f, resp))
+        if (
+            waiting
+            and self._outstanding >= max_outstanding
+            and self._virtual_completions
+        ):
+            # Window full with virtual lines in flight: no completion event
+            # will re-kick us for those, so arm a wakeup at the first slot
+            # release (a real completion arriving earlier re-kicks anyway).
+            self._schedule_wakeup(self._virtual_completions[0])
 
     def _complete(self, request: Packet, future: Future, response: Optional[Packet]) -> None:
         self._outstanding -= 1
@@ -243,6 +354,7 @@ class DmaEngine:
         future = self.engine.future()
 
         def poll() -> None:
+            self._reap_virtual()
             if self._outstanding == 0 and not self._waiting:
                 future.set_result(None)
             else:

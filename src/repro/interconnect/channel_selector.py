@@ -19,7 +19,7 @@ PCIe, so per-request latency alternates between ~400 ns and ~900 ns.
 from __future__ import annotations
 
 import enum
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.interconnect.link import Link, LinkKind
@@ -50,26 +50,65 @@ class ChannelSelector:
 
     def select(self, channel: VirtualChannel) -> Link:
         """Resolve a virtual channel to a physical link for one request."""
+        fixed = self.fixed_link(channel)
+        if fixed is not None:
+            return fixed
+        return self._select_auto()
+
+    def _select_auto(self) -> Link:
+        # Throughput-optimized: least-backlog wins; ties rotate round-robin
+        # so an unloaded platform spreads requests across every link.
+        # Open-coded equivalent of auto_pick() (which remains the reference
+        # policy): this runs per request, so avoid building the tie list
+        # unless there actually is a tie.
+        links = self.all_links
+        best_backlog = -1
+        best_first = 0
+        ties = 1
+        for index, link in enumerate(links):
+            backlog = link.backlog_ps
+            if best_backlog < 0 or backlog < best_backlog:
+                best_backlog = backlog
+                best_first = index
+                ties = 1
+            elif backlog == best_backlog:
+                ties += 1
+        cursor = self._rr_cursor
+        self._rr_cursor = cursor + 1
+        if ties == 1:
+            return links[best_first]
+        pick = cursor % ties
+        seen = 0
+        for link in links[best_first:]:
+            if link.backlog_ps == best_backlog:
+                if seen == pick:
+                    return link
+                seen += 1
+        raise AssertionError("unreachable: tie scan exhausted")
+
+    def auto_pick(self, backlogs: Sequence[int], cursor: int) -> int:
+        """The pure VA policy: index of the link chosen for one request.
+
+        Exposed so the simulator fast path can replay the exact policy
+        against *planned* backlogs at a future instant (and advance the
+        round-robin cursor itself only once a burst commits).
+        """
+        best: List[int] = []
+        best_backlog = None
+        for index, backlog in enumerate(backlogs):
+            if best_backlog is None or backlog < best_backlog:
+                best = [index]
+                best_backlog = backlog
+            elif backlog == best_backlog:
+                best.append(index)
+        return best[cursor % len(best)]
+
+    def fixed_link(self, channel: VirtualChannel) -> Optional[Link]:
+        """The forced link for a pinned channel, or ``None`` for VA."""
         if channel is VirtualChannel.VL0:
             return self.upi
         if channel is VirtualChannel.VH0:
             return self.pcie_links[0]
         if channel is VirtualChannel.VH1:
             return self.pcie_links[min(1, len(self.pcie_links) - 1)]
-        return self._select_auto()
-
-    def _select_auto(self) -> Link:
-        # Throughput-optimized: least-backlog wins; ties rotate round-robin
-        # so an unloaded platform spreads requests across every link.
-        best: List[Link] = []
-        best_backlog = None
-        for link in self.all_links:
-            backlog = link.backlog_ps
-            if best_backlog is None or backlog < best_backlog:
-                best = [link]
-                best_backlog = backlog
-            elif backlog == best_backlog:
-                best.append(link)
-        choice = best[self._rr_cursor % len(best)]
-        self._rr_cursor += 1
-        return choice
+        return None

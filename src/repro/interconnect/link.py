@@ -60,6 +60,20 @@ class Link:
         self.meter_from_memory.record(wire_bytes)
         return self.from_memory.submit(wire_bytes, deliver, *args)
 
+    def reserve_to_memory(self, wire_bytes: int, at_ps: int) -> int:
+        """Eventless counterpart of :meth:`send_to_memory` (fast path)."""
+        self.meter_to_memory.record(wire_bytes)
+        return self.to_memory.reserve(wire_bytes, at_ps)
+
+    def reserve_from_memory(self, wire_bytes: int, at_ps: int) -> int:
+        """Eventless counterpart of :meth:`send_from_memory` (fast path)."""
+        self.meter_from_memory.record(wire_bytes)
+        return self.from_memory.reserve(wire_bytes, at_ps)
+
+    def backlog_at(self, at_ps: int) -> int:
+        """Both directions' committed backlog as it will stand at ``at_ps``."""
+        return self.to_memory.backlog_at(at_ps) + self.from_memory.backlog_at(at_ps)
+
     def round_trip(self, request_bytes: int, response_bytes: int, on_done: Callable[[], None]) -> None:
         """Request out, response back — used for IOMMU page-walk fetches."""
         self.send_to_memory(

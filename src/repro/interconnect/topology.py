@@ -21,7 +21,13 @@ from repro.interconnect.link import Link
 from repro.mem.dram import Dram
 from repro.mem.iommu import Iommu
 from repro.sim.engine import Engine
-from repro.sim.packet import SMALL_PACKET_BYTES, AddressSpace, Packet, PacketKind
+from repro.sim.packet import (
+    REQUEST_HEADER_BYTES,
+    SMALL_PACKET_BYTES,
+    AddressSpace,
+    Packet,
+    PacketKind,
+)
 from repro.sim.stats import BandwidthMeter
 
 ResponseCallback = Callable[[Optional[Packet]], None]
@@ -56,7 +62,6 @@ class MemorySystem:
         on_response: ResponseCallback,
     ) -> None:
         """Carry one DMA request to memory and its response back."""
-        assert packet.is_dma and packet.is_request
         assert packet.space is AddressSpace.IOVA, "memory system expects IOVAs"
         is_write = packet.kind is PacketKind.DMA_WRITE_REQ
 
@@ -83,6 +88,8 @@ class MemorySystem:
         link: Link,
         on_response: ResponseCallback,
     ) -> None:
+        # Wire sizes are inlined (see Packet.wire_bytes_*): requests and
+        # write acks are small packets, payload carriers add a header.
         if is_write:
             def at_memory() -> None:
                 self.write_meter.record(packet.size)
@@ -91,25 +98,25 @@ class MemorySystem:
                     packet.data,
                     packet.size,
                     lambda: link.send_from_memory(
-                        packet.wire_bytes_from_memory(),
+                        SMALL_PACKET_BYTES,
                         on_response,
                         packet.make_response(),
                     ),
                 )
 
-            link.send_to_memory(packet.wire_bytes_to_memory(), at_memory)
+            link.send_to_memory(REQUEST_HEADER_BYTES + packet.size, at_memory)
         else:
             def at_memory() -> None:
                 def with_data(data: bytes) -> None:
                     self.read_meter.record(packet.size)
                     response = packet.make_response(data=data)
                     link.send_from_memory(
-                        response.wire_bytes_from_memory(), on_response, response
+                        REQUEST_HEADER_BYTES + response.size, on_response, response
                     )
 
                 self.dram.read_async(hpa, packet.size, with_data)
 
-            link.send_to_memory(packet.wire_bytes_to_memory(), at_memory)
+            link.send_to_memory(SMALL_PACKET_BYTES, at_memory)
 
     # -- IOMMU page-walk transport ----------------------------------------------
 

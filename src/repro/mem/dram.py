@@ -54,11 +54,10 @@ class Dram:
     ) -> None:
         """Timed read: data is delivered after the DRAM access completes."""
         self.reads += 1
+        self._server.submit(size, self._deliver_read, hpa, size, on_done)
 
-        def deliver() -> None:
-            on_done(self.store.read(hpa, size))
-
-        self._server.submit(size, deliver)
+    def _deliver_read(self, hpa: int, size: int, on_done: Callable[[bytes], None]) -> None:
+        on_done(self.store.read(hpa, size))
 
     def write_async(
         self, hpa: int, data: Optional[bytes], size: int, on_done: Callable[[], None]

@@ -40,6 +40,7 @@ from repro.errors import ProtectionFault, TranslationFault
 from repro.mem.address import PAGE_SIZE_2M, page_shift_for
 from repro.mem.page_table import PageTable
 from repro.sim.engine import Engine
+from repro.sim.packet import CACHE_LINE_BYTES
 
 #: Number of IOTLB entries (both 4 KB and 2 MB modes; §5).
 IOTLB_ENTRIES = 512
@@ -182,7 +183,7 @@ class Iommu:
 
     def translate_sync(self, iova: int, *, write: bool = False) -> int:
         """Pure functional translation (no timing); used for data movement."""
-        return self.page_table.translate(iova, write=write)
+        return self.page_table.translate_cached(iova, write=write)
 
     # -- timed translation ----------------------------------------------------
 
@@ -200,11 +201,15 @@ class Iommu:
         memory system) drops the DMA, as the real IOMMU would after logging
         a fault.  Faults are counted for the isolation experiments.
         """
-        speculative = self._note_access(master, iova)
+        # Streak tracking is only observable while the §6.5 optimization is
+        # enabled (the flag is fixed at construction), so skip it otherwise.
+        speculative = (
+            self._note_access(master, iova) if self.speculative_region_opt else False
+        )
 
         # Functional outcome first: faults short-circuit timing.
         try:
-            hpa = self.page_table.translate(iova, write=write)
+            hpa = self.page_table.translate_cached(iova, write=write)
         except TranslationFault:
             self.faults["translation"] += 1
             self.engine.call_after(self.hit_latency_ps, on_done, None)
@@ -227,7 +232,7 @@ class Iommu:
         # Miss: serialize on the walker, then fetch PTEs over the wire.
         start = max(self.engine.now, self._walker_free_at_ps)
         self._walker_free_at_ps = start + self.walker_occupancy_ps
-        walk_bytes = self.page_table.walk_levels * 64
+        walk_bytes = self.page_table.walk_levels * CACHE_LINE_BYTES
 
         def after_occupancy() -> None:
             if self.walk_transfer is None:

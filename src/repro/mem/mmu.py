@@ -51,10 +51,10 @@ class GuestMmu:
     # -- translation ----------------------------------------------------------
 
     def gva_to_gpa(self, gva: int, *, write: bool = False) -> int:
-        return self.guest_table.translate(gva, write=write)
+        return self.guest_table.translate_cached(gva, write=write)
 
     def gpa_to_hpa(self, gpa: int, *, write: bool = False) -> int:
-        return self.ept.translate(gpa, write=write)
+        return self.ept.translate_cached(gpa, write=write)
 
     def gva_to_hpa(self, gva: int, *, write: bool = False) -> int:
         """Full software-side translation, as the CPU would perform it."""

@@ -47,6 +47,10 @@ class PageTable:
         self.page_shift = page_shift_for(page_size)
         self.name = name
         self._entries: Dict[int, PageTableEntry] = {}
+        #: Bumped on every structural change; memoized walks check it.
+        self.version = 0
+        self._memo: Dict[Tuple[int, bool], int] = {}
+        self._memo_version = 0
 
     # -- structure ----------------------------------------------------------
 
@@ -100,6 +104,7 @@ class PageTable:
             pinned=pinned,
         )
         self._entries[vpn] = entry
+        self.version += 1
         return entry
 
     def unmap(self, virt: int) -> None:
@@ -107,6 +112,7 @@ class PageTable:
         if vpn not in self._entries:
             raise ConfigurationError(f"{self.name}: page {virt:#x} not mapped")
         del self._entries[vpn]
+        self.version += 1
 
     def unmap_range(self, virt: int, size: int) -> int:
         """Remove every mapping whose page falls inside the range."""
@@ -116,10 +122,13 @@ class PageTable:
         for vpn in range(first, last + 1):
             if self._entries.pop(vpn, None) is not None:
                 removed += 1
+        if removed:
+            self.version += 1
         return removed
 
     def clear(self) -> None:
         self._entries.clear()
+        self.version += 1
 
     # -- lookup -------------------------------------------------------------
 
@@ -141,6 +150,31 @@ class PageTable:
             entry.dirty = True
         offset = address & (self.page_size - 1)
         return (entry.frame << self.page_shift) | offset
+
+    def translate_cached(self, address: int, *, write: bool = False) -> int:
+        """Memoized :meth:`translate` — identical results and side effects.
+
+        The walk over a radix tree is a pure function of the table
+        contents, so its result is cached per ``(page, access type)`` and
+        the whole cache is dropped whenever :attr:`version` changes (map,
+        unmap, clear).  The first call per page goes through
+        :meth:`translate`, which also sets the A/D bits; repeated calls
+        would only re-set the same bits, so skipping them is unobservable.
+        Faults are never cached.
+        """
+        if self._memo_version != self.version:
+            self._memo.clear()
+            self._memo_version = self.version
+        # The raw shift skips vpn()'s range check: an out-of-range address
+        # can never be memoized (its first call faults in translate()), so
+        # the miss path below still raises exactly as before.
+        vpn = address >> self.page_shift
+        offset = address & (self.page_size - 1)
+        frame_base = self._memo.get((vpn, write))
+        if frame_base is None:
+            frame_base = self.translate(address, write=write) - offset
+            self._memo[(vpn, write)] = frame_base
+        return frame_base | offset
 
     def is_mapped(self, address: int) -> bool:
         return self.vpn(address) in self._entries

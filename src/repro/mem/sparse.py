@@ -39,6 +39,14 @@ class SparseMemory:
 
     def read(self, address: int, length: int) -> bytes:
         """Read ``length`` bytes; unwritten memory reads as zeros."""
+        # Fast path: the overwhelmingly common case is a cache-line read
+        # that stays inside one 4 KB frame.
+        offset = address & _FRAME_MASK
+        if 0 < length and offset + length <= _FRAME_SIZE and 0 <= address <= self.size_bytes - length:
+            frame = self._frames.get(address >> _FRAME_SHIFT)
+            if frame is None:
+                return _ZERO_FRAME[:length]
+            return bytes(frame[offset : offset + length])
         self._check_range(address, length)
         parts = []
         remaining = length

@@ -25,6 +25,7 @@ from repro.interconnect.link import Link, LinkKind
 from repro.interconnect.topology import MemorySystem
 from repro.mem.dram import Dram
 from repro.mem.iommu import Iommu
+from repro.platform.fastpath import FastPath
 from repro.platform.params import PlatformParams
 from repro.sim.clock import Clock, gbps_to_bytes_per_ps
 from repro.sim.engine import Engine
@@ -173,6 +174,13 @@ def build_platform(
         socket = sockets[0]
         socket.connect(shell.passthrough_dma_sink)
         shell.configure(socket, 1)
+        if params.fast_path:
+            # Burst coalescing is only provably exact on the pass-through
+            # datapath (sole DMA master, no multiplexer arbitration); under
+            # OPTIMUS every burst splits into reference per-line packets.
+            socket.dma.fastpath = FastPath(
+                engine, memory, interconnect_clock, params.shell_latency_ps
+            )
 
     return Platform(
         engine=engine,

@@ -20,7 +20,8 @@ channel policy, conflict mitigation), and hand it to
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.mem.address import (
@@ -31,6 +32,25 @@ from repro.mem.address import (
     PAGE_SIZE_4K,
 )
 from repro.sim.clock import ms, ns, us
+
+#: Process-wide default for :attr:`PlatformParams.fast_path`, overridable
+#: via the ``REPRO_FAST_PATH`` environment variable (``0``/``false``/``off``
+#: select the reference path) or :func:`set_default_fast_path`.
+_FAST_PATH_DEFAULT = os.environ.get("REPRO_FAST_PATH", "1").lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def set_default_fast_path(enabled: bool) -> None:
+    """Set the default ``fast_path`` for subsequently built params."""
+    global _FAST_PATH_DEFAULT
+    _FAST_PATH_DEFAULT = bool(enabled)
+
+
+def default_fast_path() -> bool:
+    return _FAST_PATH_DEFAULT
 
 
 @dataclass
@@ -104,6 +124,16 @@ class PlatformParams:
     # ---- spatial multiplexing ---------------------------------------------------------------
     max_physical_accelerators: int = 8  # synthesis limit at 400 MHz (§5)
 
+    # ---- simulator fast path ----------------------------------------------------------------
+    # Request granularity of every accelerator; the CCI-P interface moves
+    # whole cache lines, so all byte math derives from this one knob.
+    cache_line: int = 64
+    # Timing-preserving burst coalescing for streaming DMA (see DESIGN.md
+    # "Performance architecture").  Timing-equivalent by construction and
+    # verified by tests/test_fastpath_equivalence.py; turn off for the
+    # per-line reference path.
+    fast_path: bool = field(default_factory=default_fast_path)
+
     def __post_init__(self) -> None:
         if self.page_size not in (PAGE_SIZE_4K, PAGE_SIZE_2M):
             raise ConfigurationError("page_size must be 4 KB or 2 MB")
@@ -113,6 +143,8 @@ class PlatformParams:
             raise ConfigurationError("mux tree radix must be >= 2")
         if self.slice_bytes <= 0 or self.slice_gap_bytes < 0:
             raise ConfigurationError("invalid slice geometry")
+        if self.cache_line <= 0 or self.cache_line & (self.cache_line - 1):
+            raise ConfigurationError("cache_line must be a positive power of two")
 
     # -- convenience ------------------------------------------------------------
 

@@ -83,26 +83,30 @@ class Clock:
     def __post_init__(self) -> None:
         if self.freq_mhz <= 0:
             raise ConfigurationError(f"clock frequency must be positive, got {self.freq_mhz}")
+        # The period is consulted on every cycle->time conversion, which
+        # sits on the simulator's hottest path; cache it once (the dataclass
+        # is frozen, so the frequency can never change underneath it).
+        object.__setattr__(self, "_period_ps", round(PS_PER_S / (self.freq_mhz * 1e6)))
 
     @property
     def period_ps(self) -> int:
         """Length of one cycle in picoseconds (rounded to the nearest ps)."""
-        return round(PS_PER_S / (self.freq_mhz * 1e6))
+        return self._period_ps
 
     def cycles(self, n: float) -> int:
         """Duration of ``n`` cycles in picoseconds."""
-        return round(n * self.period_ps)
+        return round(n * self._period_ps)
 
     def cycles_between(self, start_ps: int, end_ps: int) -> float:
         """Number of (fractional) cycles elapsed between two timestamps."""
-        return (end_ps - start_ps) / self.period_ps
+        return (end_ps - start_ps) / self._period_ps
 
     def next_edge(self, now_ps: int) -> int:
         """The first clock edge at or after ``now_ps``.
 
         Edges are at integer multiples of the period, phase 0.
         """
-        period = self.period_ps
+        period = self._period_ps
         remainder = now_ps % period
         if remainder == 0:
             return now_ps

@@ -18,7 +18,8 @@ event-driven.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -209,11 +210,22 @@ def any_of(engine: "Engine", futures: Iterable[Future]) -> Future:
 
 
 class Engine:
-    """The discrete-event core: one priority queue of timed callbacks."""
+    """The discrete-event core: one priority queue of timed callbacks.
+
+    Events scheduled *at the current time* (the ``call_after(0, ...)`` that
+    dominates profiles via :meth:`Process._subscribe` and :meth:`spawn`) go
+    into a FIFO *immediate lane* — a deque — instead of the heap.  Because
+    ``now`` is monotone and sequence numbers increase with insertion, the
+    immediate lane is already sorted by ``(time, seq)``; merging its head
+    against the heap's top therefore reproduces the pure-heap event order
+    **bit for bit** while skipping the ``heappush``/``heappop`` pair for
+    the most common event class.
+    """
 
     def __init__(self) -> None:
         self.now: int = 0
         self._queue: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        self._immediate: Deque[Tuple[int, int, Callable[..., None], tuple]] = deque()
         self._sequence = 0
         self._processes: List[Process] = []
 
@@ -221,16 +233,32 @@ class Engine:
 
     def call_at(self, time_ps: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute simulated time ``time_ps``."""
-        if time_ps < self.now:
+        now = self.now
+        if time_ps < now:
             raise SimulationError(
                 f"cannot schedule at {time_ps} ps; current time is {self.now} ps"
             )
         self._sequence += 1
-        heapq.heappush(self._queue, (time_ps, self._sequence, fn, args))
+        if time_ps == now:
+            self._immediate.append((time_ps, self._sequence, fn, args))
+        else:
+            heapq.heappush(self._queue, (time_ps, self._sequence, fn, args))
 
     def call_after(self, delay_ps: int, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` after ``delay_ps`` picoseconds."""
-        self.call_at(self.now + delay_ps, fn, *args)
+        # Inlined (not delegated to call_at): this is called once or more
+        # per simulated packet hop and the extra frame shows in profiles.
+        seq = self._sequence + 1
+        self._sequence = seq
+        if delay_ps <= 0:
+            if delay_ps < 0:
+                raise SimulationError(
+                    f"cannot schedule at {self.now + delay_ps} ps; "
+                    f"current time is {self.now} ps"
+                )
+            self._immediate.append((self.now, seq, fn, args))
+        else:
+            heapq.heappush(self._queue, (self.now + delay_ps, seq, fn, args))
 
     def future(self) -> Future:
         return Future(self)
@@ -266,17 +294,40 @@ class Engine:
         measurement windows are exact.
         """
         processed = 0
-        while self._queue:
-            if max_events is not None and processed >= max_events:
-                break
-            time_ps, _seq, fn, args = self._queue[0]
-            if until_ps is not None and time_ps > until_ps:
-                self.now = until_ps
-                return processed
-            heapq.heappop(self._queue)
-            self.now = time_ps
-            fn(*args)
-            processed += 1
+        queue = self._queue
+        immediate = self._immediate
+        pop = heapq.heappop
+        # Two copies of the drain loop: the common no-event-budget call
+        # skips the per-event ``max_events`` test entirely.
+        if max_events is None:
+            while queue or immediate:
+                # Merge the immediate lane against the heap by (time, seq):
+                # entries in the immediate lane always carry time <= now, so
+                # they can never be blocked by ``until_ps``.
+                if immediate and (not queue or immediate[0] < queue[0]):
+                    event = immediate.popleft()
+                else:
+                    if until_ps is not None and queue[0][0] > until_ps:
+                        self.now = until_ps
+                        return processed
+                    event = pop(queue)
+                self.now = event[0]
+                event[2](*event[3])
+                processed += 1
+        else:
+            while queue or immediate:
+                if processed >= max_events:
+                    break
+                if immediate and (not queue or immediate[0] < queue[0]):
+                    event = immediate.popleft()
+                else:
+                    if until_ps is not None and queue[0][0] > until_ps:
+                        self.now = until_ps
+                        return processed
+                    event = pop(queue)
+                self.now = event[0]
+                event[2](*event[3])
+                processed += 1
         if until_ps is not None and self.now < until_ps:
             self.now = until_ps
         return processed
@@ -285,17 +336,26 @@ class Engine:
         """Run until ``future`` completes; return its result.
 
         Raises :class:`SimulationError` if the queue drains or the time limit
-        is reached first.
+        is reached first.  Drains events directly (no per-event re-entry
+        into :meth:`run`), checking completion after each callback.
         """
-        while not future.done():
-            if not self._queue:
+        queue = self._queue
+        immediate = self._immediate
+        pop = heapq.heappop
+        while not future._done:
+            if immediate and (not queue or immediate[0] < queue[0]):
+                event = immediate.popleft()
+            elif queue:
+                time_ps = queue[0][0]
+                if limit_ps is not None and time_ps > limit_ps:
+                    raise SimulationError(f"future not completed by {limit_ps} ps")
+                event = pop(queue)
+            else:
                 raise SimulationError("event queue drained before future completed")
-            time_ps = self._queue[0][0]
-            if limit_ps is not None and time_ps > limit_ps:
-                raise SimulationError(f"future not completed by {limit_ps} ps")
-            self.run(until_ps=time_ps, max_events=1)
+            self.now = event[0]
+            event[2](*event[3])
         return future.result()
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._immediate)

@@ -55,7 +55,7 @@ REQUEST_HEADER_BYTES = 16
 SMALL_PACKET_BYTES = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One CCI-P transaction unit flowing through the simulated platform."""
 
@@ -68,6 +68,12 @@ class Packet:
     mdata: int = 0  # request tag, preserved in the response (CCI-P mdata)
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     issued_at_ps: int = 0
+    #: A coalesced burst: N contiguous cache lines travelling as one packet
+    #: that the DMA engine either commits on the simulator fast path (with
+    #: per-line timing expanded analytically) or splits back into the
+    #: per-line packets of the reference path.  Never observed downstream
+    #: of the DMA engine.
+    coalesced: bool = False
 
     @property
     def is_request(self) -> bool:
@@ -93,36 +99,71 @@ class Packet:
 
     def wire_bytes_to_memory(self) -> int:
         """Bytes this packet occupies on the FPGA->memory direction."""
-        if self.kind == PacketKind.DMA_WRITE_REQ:
+        if self.kind is PacketKind.DMA_WRITE_REQ:
             return REQUEST_HEADER_BYTES + self.size
         return SMALL_PACKET_BYTES
 
     def wire_bytes_from_memory(self) -> int:
         """Bytes this packet occupies on the memory->FPGA direction."""
-        if self.kind == PacketKind.DMA_READ_RESP:
+        if self.kind is PacketKind.DMA_READ_RESP:
             return REQUEST_HEADER_BYTES + self.size
         return SMALL_PACKET_BYTES
 
     def make_response(self, data: Optional[bytes] = None) -> "Packet":
-        """Build the response packet for this request, preserving tags."""
-        kind_map = {
-            PacketKind.DMA_READ_REQ: PacketKind.DMA_READ_RESP,
-            PacketKind.DMA_WRITE_REQ: PacketKind.DMA_WRITE_RESP,
-            PacketKind.MMIO_READ: PacketKind.MMIO_RESPONSE,
-            PacketKind.MMIO_WRITE: PacketKind.MMIO_RESPONSE,
-        }
-        if self.kind not in kind_map:
+        """Build the response packet for this request, preserving tags.
+
+        Hand-rolled construction (no generated ``__init__``): one response
+        is built per DMA transaction, which makes this the simulator's
+        hottest allocation site.
+        """
+        kind = self.kind
+        if kind is PacketKind.DMA_READ_REQ:
+            response_kind = PacketKind.DMA_READ_RESP
+        elif kind is PacketKind.DMA_WRITE_REQ:
+            response_kind = PacketKind.DMA_WRITE_RESP
+        elif kind is PacketKind.MMIO_READ or kind is PacketKind.MMIO_WRITE:
+            response_kind = PacketKind.MMIO_RESPONSE
+        else:
             raise ValueError(f"cannot respond to a {self.kind} packet")
-        return Packet(
-            kind=kind_map[self.kind],
-            address=self.address,
-            size=self.size,
-            space=self.space,
-            accel_id=self.accel_id,
-            data=data,
-            mdata=self.mdata,
-            issued_at_ps=self.issued_at_ps,
-        )
+        response = object.__new__(Packet)
+        response.kind = response_kind
+        response.address = self.address
+        response.size = self.size
+        response.space = self.space
+        response.accel_id = self.accel_id
+        response.data = data
+        response.mdata = self.mdata
+        response.packet_id = next(_packet_ids)
+        response.issued_at_ps = self.issued_at_ps
+        response.coalesced = False
+        return response
+
+
+def make_dma_request(
+    kind: PacketKind,
+    address: int,
+    size: int,
+    accel_id: Optional[int],
+    data: Optional[bytes] = None,
+    coalesced: bool = False,
+) -> Packet:
+    """Fast constructor for the DMA engine's per-request packets (GVA space).
+
+    Equivalent to calling ``Packet(...)`` with the same fields; hand-rolled
+    because one request packet is built per DMA transaction.
+    """
+    packet = object.__new__(Packet)
+    packet.kind = kind
+    packet.address = address
+    packet.size = size
+    packet.space = AddressSpace.GVA
+    packet.accel_id = accel_id
+    packet.data = data
+    packet.mdata = 0
+    packet.packet_id = next(_packet_ids)
+    packet.issued_at_ps = 0
+    packet.coalesced = coalesced
+    return packet
 
 
 def dma_read(address: int, size: int = CACHE_LINE_BYTES, *, space: AddressSpace = AddressSpace.GVA) -> Packet:

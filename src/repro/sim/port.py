@@ -52,18 +52,30 @@ class ThroughputServer:
         self._next_free_ps = 0
         self.total_bytes = 0
         self.total_packets = 0
+        # Packet sizes come from a handful of wire formats (16 B acks, 80 B
+        # read responses, ...); memoize the ceil-divide per distinct size.
+        self._service_ps: dict = {}
 
     def service_time_ps(self, size_bytes: int) -> int:
-        return math.ceil(size_bytes / self.bytes_per_ps)
+        service = self._service_ps.get(size_bytes)
+        if service is None:
+            service = math.ceil(size_bytes / self.bytes_per_ps)
+            self._service_ps[size_bytes] = service
+        return service
 
     def submit(self, size_bytes: int, deliver: Callable[..., None], *args: Any) -> int:
         """Shape a packet of ``size_bytes``; call ``deliver(*args)`` on arrival.
 
         Returns the delivery time in picoseconds.
         """
-        now = self.engine.now
-        start = max(now, self._next_free_ps)
-        service_end = start + self.service_time_ps(size_bytes)
+        start = self.engine.now
+        if self._next_free_ps > start:
+            start = self._next_free_ps
+        service = self._service_ps.get(size_bytes)
+        if service is None:
+            service = math.ceil(size_bytes / self.bytes_per_ps)
+            self._service_ps[size_bytes] = service
+        service_end = start + service
         self._next_free_ps = service_end
         self.total_bytes += size_bytes
         self.total_packets += 1
@@ -71,15 +83,38 @@ class ThroughputServer:
         self.engine.call_at(deliver_at, deliver, *args)
         return deliver_at
 
+    def reserve(self, size_bytes: int, at_ps: int) -> int:
+        """Occupy the server for a packet arriving at ``at_ps``, eventlessly.
+
+        Identical shaping math to :meth:`submit` — the packet starts service
+        at ``max(at_ps, next_free)`` and the server stays busy through its
+        service time — but no delivery event is scheduled: the caller (the
+        simulator fast path) has already computed where the delivery feeds
+        next.  Returns the delivery time (``service_end + latency``).
+        """
+        start = at_ps if at_ps > self._next_free_ps else self._next_free_ps
+        service_end = start + self.service_time_ps(size_bytes)
+        self._next_free_ps = service_end
+        self.total_bytes += size_bytes
+        self.total_packets += 1
+        return service_end + self.latency_ps
+
+    def backlog_at(self, at_ps: int) -> int:
+        """Committed-but-unserved time as it will stand at ``at_ps``."""
+        backlog = self._next_free_ps - at_ps
+        return backlog if backlog > 0 else 0
+
     @property
     def queued_until_ps(self) -> int:
         """Time at which the server drains, given current commitments."""
-        return max(self._next_free_ps, self.engine.now)
+        now = self.engine.now
+        return self._next_free_ps if self._next_free_ps > now else now
 
     @property
     def backlog_ps(self) -> int:
         """How far ahead of 'now' this server is already committed."""
-        return max(0, self._next_free_ps - self.engine.now)
+        backlog = self._next_free_ps - self.engine.now
+        return backlog if backlog > 0 else 0
 
 
 class LatencyPipe:
@@ -141,18 +176,22 @@ class RoundRobinArbiter:
             return
         # Grants happen on clock edges of the arbiter's domain, and never
         # before a multi-cycle grant in progress has released the mux.
-        now = max(self.engine.now, self._busy_until_ps)
+        now = self.engine.now
+        if self._busy_until_ps > now:
+            now = self._busy_until_ps
         edge = now + (-now) % self.period_ps
         self._next_grant_ps = edge
         self.engine.call_at(edge, self._do_grant)
 
     def _do_grant(self) -> None:
         self._next_grant_ps = None
-        n = len(self._queues)
+        queues = self._queues
+        n = len(queues)
+        last = self._last_winner
         granted = None
         for offset in range(1, n + 1):
-            index = (self._last_winner + offset) % n
-            queue = self._queues[index]
+            index = (last + offset) % n
+            queue = queues[index]
             if queue:
                 item = queue.popleft()
                 self._last_winner = index
@@ -165,7 +204,11 @@ class RoundRobinArbiter:
         # Multi-line packets hold the mux for one cycle per line (the
         # cost function may return fractional cycles for rate-paced nodes).
         cycles = self._cost_cycles(granted) if self._cost_cycles else 1
-        self._busy_until_ps = self.engine.now + round(self.period_ps * max(1.0, cycles))
-        if any(self._queues):
-            self._next_grant_ps = self._busy_until_ps
-            self.engine.call_at(self._next_grant_ps, self._do_grant)
+        if cycles <= 1.0:
+            busy = self.engine.now + self.period_ps
+        else:
+            busy = self.engine.now + round(self.period_ps * cycles)
+        self._busy_until_ps = busy
+        if any(queues):
+            self._next_grant_ps = busy
+            self.engine.call_at(busy, self._do_grant)

@@ -37,6 +37,11 @@ class BandwidthMeter:
         self.bytes_total += size_bytes
         self.packets_total += 1
 
+    def record_burst(self, size_bytes: int, packets: int) -> None:
+        """Account a coalesced burst: total bytes carried by N packets."""
+        self.bytes_total += size_bytes
+        self.packets_total += packets
+
     def reset(self) -> None:
         self.bytes_total = 0
         self.packets_total = 0

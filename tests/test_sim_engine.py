@@ -195,3 +195,120 @@ def test_negative_delay_is_an_error():
     engine.run()
     with pytest.raises(SimulationError):
         process.completion.result()
+
+
+# -- immediate lane (zero-delay fast path) ----------------------------------
+
+
+def test_zero_delay_events_fire_fifo_before_later_times():
+    engine = Engine()
+    order = []
+    engine.call_after(100, order.append, "timed")
+    engine.call_after(0, order.append, "imm1")
+    engine.call_after(0, order.append, "imm2")
+    engine.run()
+    assert order == ["imm1", "imm2", "timed"]
+    assert engine.now == 100
+
+
+def test_immediate_lane_merges_with_heap_by_schedule_order():
+    # Two events land at T=50: one scheduled ahead of time (heap) and one
+    # scheduled *at* T by the first callback (immediate lane).  The heap
+    # entry was scheduled earlier, so it must fire before the zero-delay
+    # entry — exactly the order a pure heap would produce.
+    engine = Engine()
+    order = []
+
+    def at_t():
+        order.append("first@T")
+        engine.call_after(0, order.append, "imm@T")
+
+    engine.call_after(50, at_t)
+    engine.call_after(50, order.append, "heap@T")
+    engine.run()
+    assert order == ["first@T", "heap@T", "imm@T"]
+
+
+def test_call_at_current_time_uses_immediate_lane_order():
+    engine = Engine()
+    order = []
+
+    def at_t():
+        engine.call_at(engine.now, order.append, "at-now")
+        engine.call_after(0, order.append, "after-zero")
+
+    engine.call_after(25, at_t)
+    engine.run()
+    assert order == ["at-now", "after-zero"]
+
+
+def test_max_events_counts_immediate_lane_events():
+    engine = Engine()
+    order = []
+    engine.call_after(0, order.append, "a")
+    engine.call_after(0, order.append, "b")
+    engine.call_after(10, order.append, "c")
+    assert engine.run(max_events=2) == 2
+    assert order == ["a", "b"]
+    assert engine.pending_events == 1
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_until_ps_does_not_block_immediate_events_at_the_horizon():
+    # A callback firing exactly at until_ps spawns zero-delay work; that
+    # work still runs even though the next *timed* event is past the limit.
+    engine = Engine()
+    order = []
+
+    def at_horizon():
+        engine.call_after(0, order.append, "imm")
+
+    engine.call_after(100, at_horizon)
+    engine.call_after(200, order.append, "late")
+    engine.run(until_ps=100)
+    assert order == ["imm"]
+    assert engine.now == 100
+    assert engine.pending_events == 1
+
+
+def test_pending_events_counts_both_lanes():
+    engine = Engine()
+    engine.call_after(0, lambda: None)
+    engine.call_after(0, lambda: None)
+    engine.call_after(5, lambda: None)
+    assert engine.pending_events == 3
+    engine.run()
+    assert engine.pending_events == 0
+
+
+def test_run_until_drains_zero_delay_chains_directly():
+    engine = Engine()
+    future = engine.future()
+    hops = {"count": 0}
+
+    def chain():
+        hops["count"] += 1
+        if hops["count"] < 1000:
+            engine.call_after(0, chain)
+        else:
+            future.set_result(hops["count"])
+
+    engine.call_after(10, chain)
+    assert engine.run_until(future) == 1000
+    assert engine.now == 10
+
+
+def test_run_until_time_limit_raises():
+    engine = Engine()
+    future = engine.timer(500)
+    with pytest.raises(SimulationError):
+        engine.run_until(future, limit_ps=300)
+
+
+def test_run_until_drained_queue_raises():
+    engine = Engine()
+    future = engine.future()
+    engine.call_after(0, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.run_until(future)
