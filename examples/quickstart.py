@@ -19,7 +19,6 @@ Run:  python examples/quickstart.py
 from repro import PlatformParams, build_platform
 from repro.accel import AesJob
 from repro.accel.streaming import REG_DST, REG_LEN, REG_SRC
-from repro.guest import GuestAccelerator
 from repro.hv import OptimusHypervisor
 from repro.kernels import encrypt_ecb
 from repro.mem import MB
@@ -31,30 +30,36 @@ def main() -> None:
     platform = build_platform(PlatformParams(), n_accelerators=2)
     hypervisor = OptimusHypervisor(platform)
 
-    # 2. A tenant VM with one virtual AES accelerator.
+    # 2. A tenant VM with one virtual AES accelerator.  connect() creates
+    #    the mediated device and hands back a guest handle; leaving the
+    #    with-block disconnects it and releases the IOVA slice.
     vm = hypervisor.create_vm("tenant0")
     job = AesJob(functional=True)
-    vaccel = hypervisor.create_virtual_accelerator(vm, job, physical_index=0)
-    accel = GuestAccelerator(hypervisor, vm, vaccel, window_bytes=16 * MB)
-    print(f"virtual accelerator {vaccel.name}: IOVA slice at {vaccel.slice.iova_base:#x}")
+    with hypervisor.connect(vm, job, window_bytes=16 * MB) as accel:
+        vaccel = accel.vaccel
+        print(
+            f"virtual accelerator {vaccel.name}: "
+            f"IOVA slice at {vaccel.slice.iova_base:#x}"
+        )
 
-    # 3. Guest userspace: buffers, data, registers, go.
-    plaintext = bytes(range(256)) * 64  # 16 KB
-    src = accel.alloc_buffer(len(plaintext))
-    dst = accel.alloc_buffer(len(plaintext))
-    accel.write_buffer(src, plaintext)
-    accel.mmio_write(REG_SRC, src)
-    accel.mmio_write(REG_DST, dst)
-    accel.mmio_write(REG_LEN, len(plaintext))
-    done = accel.start()
+        # 3. Guest userspace: buffers, data, registers, go.
+        plaintext = bytes(range(256)) * 64  # 16 KB
+        src = accel.alloc_buffer(len(plaintext))
+        dst = accel.alloc_buffer(len(plaintext))
+        accel.write_buffer(src, plaintext)
+        accel.mmio_write(REG_SRC, src)
+        accel.mmio_write(REG_DST, dst)
+        accel.mmio_write(REG_LEN, len(plaintext))
+        done = accel.start()
 
-    platform.engine.run_until(done)
-    elapsed_us = to_us(platform.engine.now)
+        platform.engine.run_until(done)
+        elapsed_us = to_us(platform.engine.now)
 
-    # 4. The accelerator wrote ciphertext into shared memory; check it.
-    ciphertext = accel.read_buffer(dst, len(plaintext))
-    expected = encrypt_ecb(job.key, plaintext)
-    assert ciphertext == expected, "accelerator output mismatch!"
+        # 4. The accelerator wrote ciphertext into shared memory; check it.
+        ciphertext = accel.read_buffer(dst, len(plaintext))
+        expected = encrypt_ecb(job.key, plaintext)
+        assert ciphertext == expected, "accelerator output mismatch!"
+    assert not accel.connected, "the with-block should have disconnected"
     print(f"encrypted {len(plaintext)} bytes in {elapsed_us:.1f} simulated us")
     print(f"first ciphertext block: {ciphertext[:16].hex()}")
     print("output verified against the host AES implementation — success.")

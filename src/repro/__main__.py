@@ -1,4 +1,4 @@
-"""Command-line entry point: list and run the paper's experiments.
+"""Command-line entry point: list, run, and trace the paper's experiments.
 
 Usage::
 
@@ -9,19 +9,35 @@ Usage::
     python -m repro run fig6 --jobs 8    # fan sweep cells across processes
     python -m repro run fig5 --profile   # print a cProfile summary after
     python -m repro run fig4 --reference # per-line reference timing path
+    python -m repro run fig5 --json      # machine-readable result envelope
+    python -m repro trace fig5 --quick   # Perfetto-loadable trace capture
     python -m repro fleet --nodes 4 --load 0.9 --seed 1   # fleet serving
 
 ``run`` exits non-zero if any experiment raises (and keeps going through
 the rest of ``all``, reporting every failure at the end).
+
+Every ``--json`` mode prints one envelope object to stdout —
+``{"experiment": ..., "params": ..., "results": ...}`` — with all human
+narration diverted to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import math
 import sys
 import time
 import traceback
+
+#: Exit codes shared by every subcommand (also shown in ``--help``).
+EXIT_CODES = """\
+exit codes:
+  0  success
+  1  an experiment failed (raised; see the traceback on stderr)
+  2  usage or configuration error (bad flags, invalid fleet setup)
+"""
 
 EXPERIMENTS = {
     "fig1": ("repro.experiments.fig1_sssp", "SSSP: shared-memory vs host-centric"),
@@ -42,8 +58,21 @@ EXPERIMENTS = {
 }
 
 
-def _run_one(key: str, jobs: int = 1) -> bool:
-    """Run one experiment; returns False (instead of raising) on failure."""
+def _to_jsonable(value):
+    """Strict-JSON form of experiment results (tables, dicts, scalars)."""
+    if hasattr(value, "to_dict"):
+        return _to_jsonable(value.to_dict())
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None  # NaN/inf cells (e.g. infeasible grid points)
+    return value
+
+
+def _run_one(key: str, jobs: int = 1, *, entry: str = "main"):
+    """Run one experiment; returns ``(ok, result)`` instead of raising."""
     import importlib
     import inspect
 
@@ -52,16 +81,18 @@ def _run_one(key: str, jobs: int = 1) -> bool:
     print(f"### {key}: {module_name} " + "#" * 20)
     try:
         module = importlib.import_module(module_name)
-        if jobs > 1 and "jobs" in inspect.signature(module.main).parameters:
-            module.main(jobs=jobs)
+        # Fall back to main() for experiments without a quick() variant.
+        runner = getattr(module, entry, None) or module.main
+        if jobs > 1 and "jobs" in inspect.signature(runner).parameters:
+            result = runner(jobs=jobs)
         else:
-            module.main()
+            result = runner()
     except Exception:
         traceback.print_exc()
         print(f"[{key} FAILED after {time.time() - started:.1f}s wall]")
-        return False
+        return False, None
     print(f"[{key} done in {time.time() - started:.1f}s wall]")
-    return True
+    return True, result
 
 
 def _fleet_command(args: argparse.Namespace) -> int:
@@ -92,7 +123,21 @@ def _fleet_command(args: argparse.Namespace) -> int:
         print(f"fleet: error: {error}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(result.summary(), indent=2))
+        envelope = {
+            "experiment": "fleet",
+            "params": {
+                "nodes": args.nodes,
+                "load": args.load,
+                "seed": args.seed,
+                "requests": args.requests,
+                "policy": args.policy,
+                "queue": args.queue,
+                "retries": args.retries,
+                "max_oversub": args.max_oversub,
+            },
+            "results": _to_jsonable(result.summary()),
+        }
+        print(json.dumps(envelope, indent=2))
     else:
         print(
             f"fleet: {args.nodes} nodes ({cluster.total_slots} slots), "
@@ -107,10 +152,49 @@ def _fleet_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_command(args: argparse.Namespace) -> int:
+    from repro.telemetry import install_tracer, uninstall_tracer
+
+    output = args.output or f"trace-{args.experiment}.json"
+    tracer = install_tracer()
+    try:
+        # Serial on purpose: parallel_map workers are separate processes
+        # whose events would never reach this tracer.
+        entry = "quick" if args.quick else "main"
+        with contextlib.redirect_stdout(sys.stderr):
+            ok, _result = _run_one(args.experiment, entry=entry)
+        if not ok:
+            return 1
+        path = tracer.write(output)
+    finally:
+        uninstall_tracer()
+    categories = sorted(tracer.span_categories())
+    if args.json:
+        envelope = {
+            "experiment": args.experiment,
+            "params": {"quick": args.quick, "output": str(path)},
+            "results": {
+                "trace_file": str(path),
+                "events": tracer.event_count,
+                "span_categories": categories,
+            },
+        }
+        print(json.dumps(envelope, indent=2))
+    else:
+        print(
+            f"trace: wrote {path} ({tracer.event_count} events; "
+            f"span categories: {', '.join(categories) or 'none'})"
+        )
+        print("trace: load it in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the OPTIMUS paper's tables and figures.",
+        epilog=EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command")
     lister = sub.add_parser("list", help="list available experiments")
@@ -135,6 +219,37 @@ def main(argv=None) -> int:
         "--reference",
         action="store_true",
         help="disable the simulator fast path (timing-equivalent reference mode)",
+    )
+    runner.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable result envelope on stdout",
+    )
+
+    tracer_cmd = sub.add_parser(
+        "trace", help="run one experiment under the telemetry tracer"
+    )
+    tracer_cmd.add_argument("experiment", choices=list(EXPERIMENTS))
+    tracer_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the experiment's quick() grid when it has one",
+    )
+    tracer_cmd.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="trace file path (default: trace-<experiment>.json)",
+    )
+    tracer_cmd.add_argument(
+        "--reference",
+        action="store_true",
+        help="disable the simulator fast path (timing-equivalent reference mode)",
+    )
+    tracer_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable result envelope on stdout",
     )
 
     fleet = sub.add_parser(
@@ -188,6 +303,9 @@ def main(argv=None) -> int:
         os.environ["REPRO_FAST_PATH"] = "0"
         set_default_fast_path(False)
 
+    if args.command == "trace":
+        return _trace_command(args)
+
     profiler = None
     if args.profile:
         import cProfile
@@ -195,13 +313,51 @@ def main(argv=None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
+        as_json = bool(args.json)
+        redirect = (
+            contextlib.redirect_stdout(sys.stderr)
+            if as_json
+            else contextlib.nullcontext()
+        )
+        params = {"jobs": args.jobs, "reference": args.reference}
         if args.experiment == "all":
-            failed = [key for key in EXPERIMENTS if not _run_one(key, jobs=args.jobs)]
+            results, failed = {}, []
+            with redirect:
+                for key in EXPERIMENTS:
+                    ok, result = _run_one(key, jobs=args.jobs)
+                    if ok:
+                        results[key] = result
+                    else:
+                        failed.append(key)
+            if as_json:
+                envelope = {
+                    "experiment": "all",
+                    "params": params,
+                    "results": {
+                        "tables": _to_jsonable(results),
+                        "failed": failed,
+                    },
+                }
+                print(json.dumps(envelope, indent=2))
             if failed:
-                print(f"FAILED experiments: {', '.join(failed)}")
+                print(
+                    f"FAILED experiments: {', '.join(failed)}",
+                    file=sys.stderr if as_json else sys.stdout,
+                )
                 return 1
             return 0
-        return 0 if _run_one(args.experiment, jobs=args.jobs) else 1
+        with redirect:
+            ok, result = _run_one(args.experiment, jobs=args.jobs)
+        if not ok:
+            return 1
+        if as_json:
+            envelope = {
+                "experiment": args.experiment,
+                "params": params,
+                "results": _to_jsonable(result),
+            }
+            print(json.dumps(envelope, indent=2))
+        return 0
     finally:
         if profiler is not None:
             import pstats

@@ -100,15 +100,44 @@ class CloudProvider:
             vaccel=vaccel,
             handle=handle,
         )
+        # A tenant who disconnects the handle themselves (e.g. by leaving
+        # a ``with provider.connect(...)`` block) is forgotten here too.
+        handle._on_disconnect = lambda: self._forget(tenant)
         self.tenants.append(tenant)
         return tenant
+
+    def connect(
+        self,
+        tenant_name: str,
+        accel_type: str,
+        *,
+        window_bytes: int = 64 * MB,
+        vm_bytes: int = 10 * GB,
+        job_kwargs: Optional[dict] = None,
+    ) -> GuestAccelerator:
+        """Place a tenant and return just the guest handle.
+
+        The handle is a context manager; exiting the block disconnects it
+        and drops the provider's tenant record.
+        """
+        return self.place(
+            tenant_name,
+            accel_type,
+            window_bytes=window_bytes,
+            vm_bytes=vm_bytes,
+            job_kwargs=job_kwargs,
+        ).handle
+
+    def _forget(self, tenant: Tenant) -> None:
+        if tenant in self.tenants:
+            self.tenants.remove(tenant)
 
     def evict(self, tenant: Tenant) -> None:
         """Remove a tenant, releasing its slot share and IOVA slice."""
         if tenant not in self.tenants:
             raise ConfigurationError(f"unknown tenant {tenant.name}")
-        tenant.handle.disconnect()
-        self.tenants.remove(tenant)
+        tenant.handle.disconnect()  # the disconnect hook forgets the tenant
+        self._forget(tenant)
 
     def rebalance(self) -> int:
         """Spread oversubscribed slots onto empty same-type slots (§7.1).

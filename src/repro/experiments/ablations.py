@@ -85,8 +85,11 @@ def conflict_mitigation_study(
         stack.run_for(ms(60))
         samples: List[int] = []
         for launched in jobs:
-            recorded = launched.job.latency.samples_ps
-            samples.extend(recorded[min(100, len(recorded) // 5):])
+            samples.extend(
+                launched.job.latency.steady_samples_ps(
+                    skip_fraction=0.2, max_skip=100
+                )
+            )
         mean_ns = sum(samples) / len(samples) / 1000 if samples else 0.0
         stats = stack.platform.iommu.iotlb.stats
         miss_ratio = stats.miss_ratio
@@ -128,10 +131,15 @@ def weighted_bandwidth_study(*, window_us: int = 200) -> ResultTable:
     return table
 
 
-def main() -> None:
-    mux_tree_study().show()
-    conflict_mitigation_study().show()
-    weighted_bandwidth_study().show()
+def main():
+    results = {
+        "mux_tree": mux_tree_study(),
+        "conflict_mitigation": conflict_mitigation_study(),
+        "weighted_bandwidth": weighted_bandwidth_study(),
+    }
+    for table in results.values():
+        table.show()
+    return results
 
 
 if __name__ == "__main__":

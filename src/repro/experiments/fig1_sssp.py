@@ -94,7 +94,7 @@ def speedups(table: ResultTable) -> Dict[str, List[float]]:
     return {"native": native, "virtualized": virtual}
 
 
-def main() -> None:
+def main():
     table = run()
     table.show()
     gains = speedups(table)
@@ -102,6 +102,7 @@ def main() -> None:
           [f"{g:.0%}" for g in gains["native"]])
     print("shared-memory advantage, virtualized:",
           [f"{g:.0%}" for g in gains["virtualized"]])
+    return table
 
 
 if __name__ == "__main__":

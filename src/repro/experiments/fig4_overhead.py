@@ -57,8 +57,7 @@ def _ll_latency_ns(optimus: bool, channel: VirtualChannel, *, hops: int, working
             job_kwargs={"functional": False, "target_hops": hops},
         )
     stack.run_for(ms(50))
-    samples = launched.job.latency.samples_ps
-    steady = samples[min(200, len(samples) // 5):]
+    steady = launched.job.latency.steady_samples_ps(skip_fraction=0.2, max_skip=200)
     return sum(steady) / len(steady) / 1000 if steady else 0.0
 
 
@@ -104,9 +103,11 @@ def run(*, hops: int = 1500, window_us: int = 100, graph_vertices: int = 30_000,
     return {"latency": latency, "throughput": throughput}
 
 
-def main() -> None:
-    for table in run().values():
+def main():
+    results = run()
+    for table in results.values():
         table.show()
+    return results
 
 
 if __name__ == "__main__":

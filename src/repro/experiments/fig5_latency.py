@@ -61,8 +61,9 @@ def _mean_latency_ns(
     stack.run_for(ms(5 + 2 * hops // 1000))
     samples: List[int] = []
     for launched in jobs:
-        recorded = launched.job.latency.samples_ps
-        samples.extend(recorded[len(recorded) // 2:])
+        # Public instrument surface: the second half of the samples is the
+        # steady state (compulsory misses live in the first half).
+        samples.extend(launched.job.latency.steady_samples_ps())
     return sum(samples) / len(samples) / 1000 if samples else 0.0
 
 
@@ -123,17 +124,37 @@ def run(
     return results
 
 
-def main(jobs: int = 1) -> None:
+def quick(jobs: int = 1) -> Dict[str, ResultTable]:
+    """A seconds-scale cell of the sweep (CI smoke and ``trace fig5``)."""
+    results = run(
+        page_size=PAGE_SIZE_2M,
+        working_sets=["64M", "128M"],
+        job_counts=[1, 2],
+        hops_per_job=200,
+        jobs=jobs,
+    )
+    for table in results.values():
+        table.show()
+    return results
+
+
+def main(jobs: int = 1) -> Dict[str, ResultTable]:
     # A trimmed default grid keeps the module runnable in about a minute;
     # pass the full paper grids for the complete figure.
+    results: Dict[str, ResultTable] = {}
     for page_size in (PAGE_SIZE_2M, PAGE_SIZE_4K):
         sets = (
             ["64M", "512M", "1G", "2G", "4G"]
             if page_size == PAGE_SIZE_2M
             else ["128K", "1M", "2M", "4M", "16M"]
         )
-        for table in run(page_size=page_size, working_sets=sets, jobs=jobs).values():
+        page_label = "2M" if page_size == PAGE_SIZE_2M else "4K"
+        for label, table in run(
+            page_size=page_size, working_sets=sets, jobs=jobs
+        ).items():
             table.show()
+            results[f"{page_label}.{label}"] = table
+    return results
 
 
 if __name__ == "__main__":

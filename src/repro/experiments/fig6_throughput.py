@@ -131,7 +131,7 @@ def read_anomaly(*, page_size: int = PAGE_SIZE_4K) -> Dict[str, float]:
     }
 
 
-def main(jobs: int = 1) -> None:
+def main(jobs: int = 1):
     from repro.experiments.plotting import show_chart
 
     trimmed_2m = ["64M", "512M", "1G", "2G", "8G"]
@@ -141,14 +141,22 @@ def main(jobs: int = 1) -> None:
     )
     table_2m.show()
     show_chart(table_2m, y_label="GB/s")
-    run(
+    write_2m = run(
         page_size=PAGE_SIZE_2M, working_sets=trimmed_2m, mode=MODE_WRITE, jobs=jobs
-    ).show()
-    run(
+    )
+    write_2m.show()
+    read_4k = run(
         page_size=PAGE_SIZE_4K, working_sets=trimmed_4k, mode=MODE_READ, jobs=jobs
-    ).show()
+    )
+    read_4k.show()
     anomaly = read_anomaly()
     print("read anomaly (1 job, <=2M region):", anomaly)
+    return {
+        "read_2m": table_2m,
+        "write_2m": write_2m,
+        "read_4k": read_4k,
+        "read_anomaly": anomaly,
+    }
 
 
 if __name__ == "__main__":

@@ -91,13 +91,14 @@ def speedup_range(table: ResultTable) -> Dict[str, float]:
     return {"min": min(eight.values()), "max": max(eight.values())}
 
 
-def main() -> None:
+def main():
     from repro.experiments.plotting import show_chart
 
     table = run()
     table.show()
     show_chart(table, y_label="normalized throughput")
     print("speedup range at 8 jobs:", speedup_range(table))
+    return table
 
 
 if __name__ == "__main__":

@@ -130,9 +130,11 @@ def slice_length_sweep(
     return table
 
 
-def main() -> None:
-    run().show()
-    slice_length_sweep().show()
+def main():
+    results = {"temporal": run(), "slice_sweep": slice_length_sweep()}
+    for table in results.values():
+        table.show()
+    return results
 
 
 if __name__ == "__main__":

@@ -131,13 +131,14 @@ def throughput_by_nodes(table: ResultTable, load: float) -> List[float]:
     ]
 
 
-def main(jobs: int = 1) -> None:
+def main(jobs: int = 1):
     table = run(jobs=jobs)
     table.show()
     for load in sorted({float(row[1]) for row in table.rows}):
         series = throughput_by_nodes(table, load)
         print(f"load {load}: placed/s by node count = "
               + ", ".join(f"{v:.0f}" for v in series))
+    return table
 
 
 if __name__ == "__main__":

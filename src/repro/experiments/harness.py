@@ -23,7 +23,6 @@ from repro.accel.linkedlist import ADDR_MODE_PATTERN
 from repro.accel.membench import MODE_READ
 from repro.accel.streaming import REG_DST, REG_LEN, REG_PARAM0, REG_PARAM1, REG_SRC
 from repro.errors import ConfigurationError
-from repro.guest import GuestAccelerator, NativeAccelerator
 from repro.hv import OptimusHypervisor, PassthroughHypervisor
 from repro.hv.mdev import VirtualAccelerator
 from repro.interconnect import VirtualChannel
@@ -156,16 +155,14 @@ class OptimusStack:
             kwargs.setdefault("graph", graph)
         job = make_job(name, **kwargs)
         vm = self.hypervisor.create_vm(f"vm{len(self.jobs)}", mem_bytes=16 * GB)
-        vaccel = self.hypervisor.create_virtual_accelerator(
-            vm, job, physical_index=physical_index
-        )
-        self.hypervisor.physical[physical_index].default_channel = channel
-        handle = GuestAccelerator(
-            self.hypervisor,
+        handle = self.hypervisor.connect(
             vm,
-            vaccel,
+            job,
+            physical_index=physical_index,
             window_bytes=_window_bytes_for(name, working_set, graph),
         )
+        vaccel = handle.vaccel
+        self.hypervisor.physical[physical_index].default_channel = channel
         registers = _configure_benchmark(
             name, job, handle.alloc_buffer,
             working_set=working_set, stream_len=stream_len,
@@ -218,8 +215,8 @@ class PassthroughStack:
         if name == "SSSP":
             kwargs.setdefault("graph", graph)
         job = make_job(name, **kwargs)
-        handle = NativeAccelerator(
-            self.hypervisor, window_bytes=_window_bytes_for(name, working_set, graph)
+        handle = self.hypervisor.connect(
+            window_bytes=_window_bytes_for(name, working_set, graph)
         )
         registers = _configure_benchmark(
             name, job, handle.alloc_buffer,
@@ -283,7 +280,14 @@ def measure_progress(
     base = [
         (job.progress_bytes() if in_bytes else job.progress()) for job in jobs
     ]
+    engine = getattr(platform_owner, "platform", platform_owner).engine
+    window_start_ps = engine.now
     platform_owner.run_for(window_ps)
+    if engine.trace is not None:
+        engine.trace.complete(
+            "measure.window", window_start_ps, engine.now,
+            tid=engine.trace.thread("measure"), cat="measure",
+            args={"jobs": len(jobs)})
     rates = []
     for job, start in zip(jobs, base):
         current = job.progress_bytes() if in_bytes else job.progress()
@@ -314,6 +318,15 @@ class ResultTable:
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form used by ``python -m repro run --json``."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
     def to_string(self) -> str:
         def fmt(value: object) -> str:

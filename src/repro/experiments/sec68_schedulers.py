@@ -104,8 +104,10 @@ def run(
     return table
 
 
-def main() -> None:
-    run().show()
+def main():
+    table = run()
+    table.show()
+    return table
 
 
 if __name__ == "__main__":

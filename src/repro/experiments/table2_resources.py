@@ -60,9 +60,11 @@ def utilization_gain(n_accelerators: int = 8) -> float:
     return multi / single
 
 
-def main() -> None:
-    run().show()
+def main():
+    table = run()
+    table.show()
     print(f"mean accelerator-utilization gain at 8x: {utilization_gain():.2f}x")
+    return table
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError
 from repro.fleet.node import DEFAULT_MAX_OVERSUB, FleetNode, NodeSpec
 from repro.fleet.placement import PlacementPolicy
 from repro.platform.params import PlatformParams
+from repro.telemetry import MetricRegistry
 
 #: Default heterogeneous node templates, cycled when building a cluster.
 #: Each is a synthesizable six-slot mix (Table 2 closes timing for eight
@@ -112,6 +113,18 @@ class FleetCluster:
         node.evict(tenant_name)
 
     # -- reporting --------------------------------------------------------------------
+
+    def metrics_registry(self) -> MetricRegistry:
+        """One registry over every node's platform instruments.
+
+        Names are prefixed with the node, so one :meth:`snapshot` covers
+        the whole fleet (``node0.iommu.iotlb``, ``node1.upi0.bw.to_mem``,
+        ...).
+        """
+        registry = MetricRegistry("cluster")
+        for node in self.nodes:
+            registry.mount(f"{node.name}.", node.provider.platform.metrics)
+        return registry
 
     def occupancy_report(self) -> Dict[str, Dict[int, Dict[str, object]]]:
         return {node.name: node.provider.occupancy_report() for node in self.nodes}

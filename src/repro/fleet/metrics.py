@@ -21,6 +21,7 @@ import hashlib
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.sim.stats import Counters, LatencyRecorder
+from repro.telemetry import MetricRegistry, current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fleet.cluster import FleetCluster
@@ -29,15 +30,28 @@ if TYPE_CHECKING:  # pragma: no cover
 class FleetMetrics:
     """One serving run's worth of fleet-wide measurements."""
 
-    def __init__(self) -> None:
-        self.counters = Counters()
-        self.placement_latency = LatencyRecorder("fleet.placement")
+    def __init__(self, *, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry("fleet")
+        self.counters = Counters(
+            name="fleet.admission", registry=self.registry
+        )
+        self.placement_latency = LatencyRecorder(
+            "fleet.placement", registry=self.registry
+        )
         self.placed_by_type: Dict[str, int] = {}
         self.trace: List[str] = []
         self._util_integral_ps: Dict[str, float] = {}
         self._capacity: Dict[str, int] = {}
         self._last_sample_ps = 0
         self._span_ps = 0
+        # Fleet admission/placement events live in their own trace scope;
+        # the serving loop is deterministic control plane, so these are
+        # identical across simulator modes by construction.
+        tracer = current_tracer()
+        self._trace_scope = tracer.scope("fleet") if tracer is not None else None
+        if self._trace_scope is not None:
+            self._trace_tid_admission = self._trace_scope.thread("admission")
+            self._trace_tid_queue = self._trace_scope.thread("queue")
 
     # -- event recording --------------------------------------------------------------
 
@@ -62,18 +76,35 @@ class FleetMetrics:
             f"{now_ps} {request.tenant} {request.accel_type} -> "
             f"{node_name}/slot{physical_index} {mode} wait={latency_ps}"
         )
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.place", now_ps, tid=self._trace_tid_admission, cat="fleet",
+                args={"tenant": request.tenant, "type": request.accel_type,
+                      "node": node_name, "slot": physical_index,
+                      "mode": mode, "wait_ps": latency_ps})
 
     def record_queued(self, *, now_ps: int, request, depth: int) -> None:
         self.counters.bump("queued")
         self.trace.append(
             f"{now_ps} {request.tenant} {request.accel_type} -> queued depth={depth}"
         )
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.queue", now_ps, tid=self._trace_tid_queue, cat="fleet",
+                args={"tenant": request.tenant, "depth": depth})
+            self._trace_scope.counter(
+                "queue_depth", now_ps, {"depth": float(depth)},
+                tid=self._trace_tid_queue, cat="fleet")
 
     def record_retry(self, *, now_ps: int, request, attempt: int) -> None:
         self.counters.bump("retries")
         self.trace.append(
             f"{now_ps} {request.tenant} {request.accel_type} -> retry#{attempt}"
         )
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.retry", now_ps, tid=self._trace_tid_queue, cat="fleet",
+                args={"tenant": request.tenant, "attempt": attempt})
 
     def record_rejection(self, *, now_ps: int, request, reason: str) -> None:
         self.counters.bump("rejections")
@@ -81,9 +112,17 @@ class FleetMetrics:
         self.trace.append(
             f"{now_ps} {request.tenant} {request.accel_type} -> rejected ({reason})"
         )
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.reject", now_ps, tid=self._trace_tid_admission, cat="fleet",
+                args={"tenant": request.tenant, "reason": reason})
 
     def record_departure(self, *, now_ps: int, tenant: str) -> None:
         self.counters.bump("departures")
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.depart", now_ps, tid=self._trace_tid_admission, cat="fleet",
+                args={"tenant": tenant})
 
     # -- utilization integration --------------------------------------------------------
 

@@ -14,11 +14,20 @@ library lets a guest application:
 :class:`NativeAccelerator` provides the same surface over the
 pass-through/native platform so benchmarks run unchanged on both — which
 is exactly how the paper's overhead experiments are constructed.
+
+Both handles share one lifecycle surface: ``connected``, ``disconnect()``
+(idempotent), ``reset()``, and the context-manager protocol, so
+
+    with hypervisor.connect(vm, job) as accel:
+        ...
+
+releases the accelerator on exit even when the body raises.  Explicit
+construction plus an explicit ``disconnect()`` keeps working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.accel.base import CMD_START, CTRL_CMD, CTRL_STATUS
 from repro.errors import GuestError
@@ -62,12 +71,28 @@ class GuestAccelerator:
             stagger = (vaccel.vaccel_id % 8) * 64 * PAGE_SIZE_4K
         self._buffers = RegionAllocator(base + stagger, window_bytes - stagger, granule=64)
         self.connected = True
+        #: Called once after a successful disconnect (the cloud provider
+        #: uses this to drop its tenant bookkeeping when a guest releases
+        #: the handle itself).
+        self._on_disconnect: Optional[Callable[[], None]] = None
 
     # -- connection lifecycle ---------------------------------------------------
 
+    def __enter__(self) -> "GuestAccelerator":
+        self._check()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.disconnect()
+
     def disconnect(self) -> None:
+        """Release the virtual accelerator; safe to call more than once."""
+        if not self.connected:
+            return
         self.connected = False
         self.hypervisor.destroy_virtual_accelerator(self.vaccel)
+        if self._on_disconnect is not None:
+            self._on_disconnect()
 
     def _check(self) -> None:
         if not self.connected:
@@ -156,8 +181,38 @@ class NativeAccelerator:
         base = vm.reserve_va(window_bytes, alignment=vm.page_size)
         self._buffers = RegionAllocator(base, window_bytes, granule=64)
         self.connected = True
+        self._on_disconnect: Optional[Callable[[], None]] = None
+
+    # -- connection lifecycle ---------------------------------------------------
+
+    def __enter__(self) -> "NativeAccelerator":
+        self._check()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.disconnect()
+
+    def disconnect(self) -> None:
+        """Release the directly assigned accelerator; idempotent."""
+        if not self.connected:
+            return
+        self.connected = False
+        if self._on_disconnect is not None:
+            self._on_disconnect()
+
+    def _check(self) -> None:
+        if not self.connected:
+            raise GuestError("accelerator handle is disconnected")
+
+    def reset(self) -> None:
+        """Clear the physical accelerator's application registers."""
+        self._check()
+        self.hypervisor.platform.sockets[0].registers.clear()
+
+    # -- DMA memory management -----------------------------------------------------
 
     def alloc_buffer(self, size: int) -> int:
+        self._check()
         page = self.vm.page_size
         gva = self._buffers.alloc(align_up(size, page), alignment=page)
         current = gva
@@ -169,19 +224,29 @@ class NativeAccelerator:
         return gva
 
     def free_buffer(self, gva: int) -> None:
+        self._check()
         self._buffers.free(gva)
 
     def write_buffer(self, gva: int, data: bytes) -> None:
+        self._check()
         self.vm.write_memory(gva, data)
 
     def read_buffer(self, gva: int, size: int) -> bytes:
+        self._check()
         return self.vm.read_memory(gva, size)
 
+    # -- MMIO programming ----------------------------------------------------------------
+
     def mmio_write(self, offset: int, value: int) -> Future:
+        self._check()
         return self.hypervisor.mmio_write(offset, value)
 
     def mmio_read(self, offset: int) -> Future:
+        self._check()
         return self.hypervisor.mmio_read(offset)
 
+    # -- job control -----------------------------------------------------------------------
+
     def start(self, job, **kwargs) -> Future:
+        self._check()
         return self.hypervisor.start_job(job, **kwargs)

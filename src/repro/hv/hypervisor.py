@@ -52,7 +52,7 @@ from repro.hv.mdev import (
 from repro.hv.preemption import PhysicalAccelerator
 from repro.hv.shadow import ShadowPager
 from repro.hv.vm import VirtualMachine
-from repro.mem.address import GB, align_up
+from repro.mem.address import GB, MB, align_up
 from repro.mem.allocator import FrameAllocator
 from repro.platform.builder import Platform, PlatformMode
 from repro.sim.engine import Future
@@ -144,6 +144,27 @@ class OptimusHypervisor:
         self.physical[physical_index].attach(vaccel)
         self._started[vaccel.vaccel_id] = False
         return vaccel
+
+    def connect(
+        self,
+        vm: VirtualMachine,
+        job: AcceleratorJob,
+        *,
+        physical_index: int = 0,
+        window_bytes: int = 512 * MB,
+    ):
+        """Create a vaccel and hand back a connected guest handle.
+
+        Returns a :class:`~repro.guest.api.GuestAccelerator` usable as a
+        context manager: ``with hv.connect(vm, job) as accel: ...``
+        releases the virtual accelerator on exit.
+        """
+        from repro.guest.api import GuestAccelerator
+
+        vaccel = self.create_virtual_accelerator(
+            vm, job, physical_index=physical_index
+        )
+        return GuestAccelerator(self, vm, vaccel, window_bytes=window_bytes)
 
     def migrate_virtual_accelerator(
         self, vaccel: VirtualAccelerator, destination_index: int

@@ -21,7 +21,7 @@ from repro.accel.base import AcceleratorJob, ExecutionContext
 from repro.errors import ConfigurationError, GuestError
 from repro.hv.vm import VirtualMachine
 from repro.interconnect.channel_selector import VirtualChannel
-from repro.mem.address import GB, align_up
+from repro.mem.address import GB, MB, align_up
 from repro.mem.allocator import FrameAllocator
 from repro.platform.builder import Platform, PlatformMode
 from repro.sim.engine import Future, Process
@@ -57,6 +57,16 @@ class PassthroughHypervisor:
 
     def back_guest_page(self, _vm: VirtualMachine) -> int:
         return self.frames.alloc_frame()
+
+    def connect(self, *, window_bytes: int = 512 * MB):
+        """Hand back a connected native handle (context-manager capable).
+
+        The surface mirrors :meth:`OptimusHypervisor.connect` so the same
+        benchmark body runs on either platform flavour.
+        """
+        from repro.guest.api import NativeAccelerator
+
+        return NativeAccelerator(self, window_bytes=window_bytes)
 
     # -- vIOMMU: identity GVA -> IOVA, mapped straight to host frames -------------------
 

@@ -65,6 +65,11 @@ class PhysicalAccelerator:
         self.default_channel = VirtualChannel.VA
         self._loop: Optional[Process] = None
         self.context_switches = 0
+        # Tracing: scheduler decisions and save/restore phases are pure
+        # control plane — identical between simulator modes.
+        self._trace = self.engine.trace
+        if self._trace is not None:
+            self._trace_tid = self._trace.thread(f"hv.pa{socket_index}")
 
     # -- attachment ---------------------------------------------------------------
 
@@ -107,6 +112,12 @@ class PhysicalAccelerator:
                     yield from self._switch_out()
                 return
             choice, slice_ps = self.scheduler.pick(runnable)
+            if self._trace is not None:
+                self._trace.instant("hv.sched.pick", self.engine.now,
+                                    tid=self._trace_tid, cat="hv",
+                                    args={"vaccel": choice.name,
+                                          "slice_ps": slice_ps,
+                                          "runnable": len(runnable)})
             if self.current is not choice:
                 if self.current is not None:
                     yield from self._switch_out()
@@ -139,6 +150,8 @@ class PhysicalAccelerator:
         ctx = self.current_ctx
         assert process is not None and ctx is not None
         params = self.platform.params
+        save_start_ps = self.engine.now
+        forced = False
 
         if not process.completion.done():
             save_cost = self._state_transfer_ps(vaccel.job.state_size())
@@ -149,6 +162,7 @@ class PhysicalAccelerator:
                 # Misbehaving accelerator: forcible reset (§4.2).
                 process.interrupt()
                 vaccel.forced_resets += 1
+                forced = True
                 # Unsaved progress is lost; the job restarts from its last
                 # successful checkpoint when rescheduled.
             else:
@@ -169,6 +183,11 @@ class PhysicalAccelerator:
         self.current_process = None
         self.current_ctx = None
         self.context_switches += 1
+        if self._trace is not None:
+            self._trace.complete("hv.ctxsw.save", save_start_ps, self.engine.now,
+                                 tid=self._trace_tid, cat="hv",
+                                 args={"vaccel": vaccel.name, "forced": forced,
+                                       "done": vaccel.job.done})
 
     def _spill_state(self, vaccel: VirtualAccelerator) -> None:
         """Functionally place the saved state in the guest's DRAM buffer."""
@@ -180,6 +199,7 @@ class PhysicalAccelerator:
 
     def _switch_in(self, vaccel: VirtualAccelerator) -> Generator:
         params = self.platform.params
+        restore_start_ps = self.engine.now
         yield params.resume_protocol_ps
 
         # Program the auditor's offset-table entry through the VCU: this is
@@ -215,6 +235,11 @@ class PhysicalAccelerator:
         vaccel.schedule_count += 1
         if vaccel.utilization is not None:
             vaccel.utilization.begin()
+        if self._trace is not None:
+            self._trace.complete("hv.ctxsw.restore", restore_start_ps,
+                                 self.engine.now, tid=self._trace_tid, cat="hv",
+                                 args={"vaccel": vaccel.name,
+                                       "restored_state": vaccel.saved_state is not None})
 
     def _fail_current(self) -> Generator:
         vaccel = self.current

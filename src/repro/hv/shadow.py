@@ -47,6 +47,11 @@ class ShadowPager:
         self.page_size = iommu.page_size
         self.pages_mapped = 0
         self.pages_pinned = 0
+        # Tracing: page-table slicing is hypervisor control plane, identical
+        # between simulator modes.
+        self._trace = iommu.engine.trace
+        if self._trace is not None:
+            self._trace_tid = self._trace.thread("hv.slicing")
 
     # -- window lifecycle -----------------------------------------------------------
 
@@ -61,6 +66,12 @@ class ShadowPager:
                 f"{vaccel.name}: window exceeds the {vaccel.slice.size:#x}-byte slice"
             )
         n_pages = (vaccel.window_size + self.page_size - 1) // self.page_size
+        if self._trace is not None:
+            self._trace.instant("hv.slice.window", self.iommu.engine.now,
+                                tid=self._trace_tid, cat="hv",
+                                args={"vaccel": vaccel.name,
+                                      "iova_base": vaccel.slice.iova_base,
+                                      "pages": n_pages})
         if n_pages > DUMMY_BACKING_PAGE_LIMIT:
             return  # huge reservation: leave unregistered pages unmapped
         dummy_hpa = self.hypervisor.dummy_frame()
@@ -104,6 +115,10 @@ class ShadowPager:
         iova = vaccel.slice.iova_base + (gva - window_base)
         self.iommu.map(iova, hpa, writable=True)
         self.pages_mapped += 1
+        if self._trace is not None:
+            self._trace.instant("hv.slice.map", self.iommu.engine.now,
+                                tid=self._trace_tid, cat="hv",
+                                args={"vaccel": vaccel.name, "iova": iova})
         return iova
 
     def map_region(self, vaccel: VirtualAccelerator, gva: int, size: int) -> int:

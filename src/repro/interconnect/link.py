@@ -51,6 +51,15 @@ class Link:
         self.from_memory = ThroughputServer(engine, f"{name}.from_mem", rate, latency_ps)
         self.meter_to_memory = BandwidthMeter(engine, f"{name}.bw.to_mem")
         self.meter_from_memory = BandwidthMeter(engine, f"{name}.bw.from_mem")
+        # Tracing: per-channel occupancy is emitted as *window* spans at
+        # instrument-reset boundaries (plus a finalize flush), never per
+        # packet — meter totals are only guaranteed identical between the
+        # fast path and the reference path at idle instants, which is
+        # exactly where experiments reset their meters.
+        self._trace = engine.trace
+        if self._trace is not None:
+            self._trace_tid_to = self._trace.thread(f"{name}.to_mem")
+            self._trace_tid_from = self._trace.thread(f"{name}.from_mem")
 
     def send_to_memory(self, wire_bytes: int, deliver: Callable[..., None], *args: Any) -> int:
         self.meter_to_memory.record(wire_bytes)
@@ -89,6 +98,21 @@ class Link:
         """
         return self.to_memory.backlog_ps + self.from_memory.backlog_ps
 
+    def trace_flush(self) -> None:
+        """Emit one occupancy-window span per direction (if traced)."""
+        if self._trace is None:
+            return
+        for meter, tid in (
+            (self.meter_to_memory, self._trace_tid_to),
+            (self.meter_from_memory, self._trace_tid_from),
+        ):
+            summary = meter.summary()
+            if summary is not None:
+                self._trace.complete("window", meter.window_start_ps,
+                                     self.engine.now, tid=tid, cat="link",
+                                     args=summary)
+
     def reset_meters(self) -> None:
+        self.trace_flush()
         self.meter_to_memory.reset()
         self.meter_from_memory.reset()

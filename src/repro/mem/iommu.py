@@ -57,6 +57,8 @@ class IotlbStats:
     misses: int = 0
     speculative_hits: int = 0
     evictions: int = 0
+    #: Instrument-protocol name (registrable in a MetricRegistry).
+    name: str = "iommu.iotlb"
 
     @property
     def accesses(self) -> int:
@@ -72,6 +74,18 @@ class IotlbStats:
         self.misses = 0
         self.speculative_hits = 0
         self.evictions = 0
+
+    def summary(self) -> Optional[Dict[str, float]]:
+        """Uniform-protocol summary; ``None`` before any access."""
+        if not self.accesses and not self.evictions:
+            return None
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "speculative_hits": float(self.speculative_hits),
+            "evictions": float(self.evictions),
+            "miss_ratio": self.miss_ratio,
+        }
 
 
 class Iotlb:
@@ -148,6 +162,15 @@ class Iommu:
         self._last_region: Optional[int] = None
         self._spec_streak = 0
         self.faults: Dict[str, int] = {"translation": 0, "protection": 0}
+        # Tracing: only miss-side events (misses, walks, evictions, faults)
+        # are emitted — these are identical between the simulator's fast
+        # path and the reference path (a burst only commits on an IOTLB tag
+        # hit, so miss traffic always takes the reference path).  Per-hit
+        # events would differ between modes and are deliberately absent.
+        self._trace = engine.trace
+        if self._trace is not None:
+            self._trace_tid_events = self._trace.thread("iommu.events")
+            self._trace_tid_walker = self._trace.thread("iommu.walker")
 
     # -- speculative streak state ------------------------------------------
 
@@ -212,10 +235,18 @@ class Iommu:
             hpa = self.page_table.translate_cached(iova, write=write)
         except TranslationFault:
             self.faults["translation"] += 1
+            if self._trace is not None:
+                self._trace.instant("iommu.fault", self.engine.now,
+                                    tid=self._trace_tid_events, cat="iotlb",
+                                    args={"kind": "translation", "iova": iova})
             self.engine.call_after(self.hit_latency_ps, on_done, None)
             return
         except ProtectionFault:
             self.faults["protection"] += 1
+            if self._trace is not None:
+                self._trace.instant("iommu.fault", self.engine.now,
+                                    tid=self._trace_tid_events, cat="iotlb",
+                                    args={"kind": "protection", "iova": iova})
             self.engine.call_after(self.hit_latency_ps, on_done, None)
             return
 
@@ -233,6 +264,17 @@ class Iommu:
         start = max(self.engine.now, self._walker_free_at_ps)
         self._walker_free_at_ps = start + self.walker_occupancy_ps
         walk_bytes = self.page_table.walk_levels * CACHE_LINE_BYTES
+        if self._trace is not None:
+            # The walker-occupancy window is known analytically at miss
+            # time, so the span can be emitted eagerly (and the walker lane
+            # never overlaps: occupancy intervals serialize by design).
+            set_index = self.iotlb.set_index(iova)
+            self._trace.instant("iotlb.miss", self.engine.now,
+                                tid=self._trace_tid_events, cat="iotlb",
+                                args={"set": set_index, "iova": iova})
+            self._trace.complete("iotlb.walk", start, start + self.walker_occupancy_ps,
+                                 tid=self._trace_tid_walker, cat="iotlb",
+                                 args={"set": set_index})
 
         def after_occupancy() -> None:
             if self.walk_transfer is None:
@@ -245,6 +287,17 @@ class Iommu:
     def _finish_walk(
         self, iova: int, hpa: int, on_done: Callable[[Optional[int]], None]
     ) -> None:
+        if self._trace is not None:
+            # Detect the conflict eviction the install is about to make.
+            tlb = self.iotlb
+            vpn = iova >> tlb.page_shift
+            index = vpn & tlb.index_mask
+            victim = tlb._tags[index]
+            if victim is not None and victim != vpn:
+                self._trace.instant("iotlb.evict", self.engine.now,
+                                    tid=self._trace_tid_events, cat="iotlb",
+                                    args={"set": index, "vpn": vpn,
+                                          "victim_vpn": victim})
         self.iotlb.install(iova, hpa >> self.iotlb.page_shift)
         on_done(hpa)
 

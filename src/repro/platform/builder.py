@@ -29,6 +29,7 @@ from repro.platform.fastpath import FastPath
 from repro.platform.params import PlatformParams
 from repro.sim.clock import Clock, gbps_to_bytes_per_ps
 from repro.sim.engine import Engine
+from repro.telemetry import MetricRegistry, current_tracer
 
 
 class PlatformMode(enum.Enum):
@@ -52,6 +53,7 @@ class Platform:
         shell: Shell,
         sockets: List[AfuSocket],
         monitor: Optional[HardwareMonitor],
+        metrics: Optional[MetricRegistry] = None,
     ) -> None:
         self.engine = engine
         self.params = params
@@ -64,11 +66,16 @@ class Platform:
         self.shell = shell
         self.sockets = sockets
         self.monitor = monitor
+        self.metrics = metrics if metrics is not None else MetricRegistry("platform")
         self.interconnect_clock = Clock(params.interconnect_mhz)
 
     @property
     def n_sockets(self) -> int:
         return len(self.sockets)
+
+    def snapshot(self) -> dict:
+        """One summary per registered instrument (``None`` when empty)."""
+        return self.metrics.snapshot()
 
     def reset_measurements(self) -> None:
         """Zero every meter/counter before a measurement window."""
@@ -76,6 +83,26 @@ class Platform:
         self.iommu.reset_stats()
         for socket in self.sockets:
             socket.dma.reset_meters()
+
+    def trace_flush(self) -> None:
+        """Close open meter windows into the trace (finalize hook)."""
+        scope = self.engine.trace
+        if scope is None:
+            return
+        for link in self.links:
+            link.trace_flush()
+        now = self.engine.now
+        stats = self.iommu.iotlb.stats
+        scope.counter("iotlb", now,
+                      {"hits": float(stats.hits), "misses": float(stats.misses),
+                       "evictions": float(stats.evictions)},
+                      tid=scope.thread("iommu.events"), cat="iotlb")
+        for meter in (self.memory.read_meter, self.memory.write_meter):
+            summary = meter.summary()
+            if summary is not None:
+                scope.complete("window", meter.window_start_ps, now,
+                               tid=scope.thread(meter.name), cat="link",
+                               args=summary)
 
     def run_for(self, duration_ps: int) -> None:
         self.engine.run(until_ps=self.engine.now + duration_ps)
@@ -182,7 +209,21 @@ def build_platform(
                 engine, memory, interconnect_clock, params.shell_latency_ps
             )
 
-    return Platform(
+    # Every instrument the platform owns, behind the uniform protocol
+    # (name / reset / summary) with hierarchical dotted names.
+    metrics = MetricRegistry("platform")
+    metrics.register(iommu.iotlb.stats)  # "iommu.iotlb"
+    for link in [upi, *pcie_links]:
+        metrics.register(link.meter_to_memory)  # e.g. "upi0.bw.to_mem"
+        metrics.register(link.meter_from_memory)
+    metrics.register(memory.read_meter)  # "mem.read" / "mem.write"
+    metrics.register(memory.write_meter)
+    for socket in sockets:
+        metrics.register(socket.dma.read_meter)  # e.g. "afu0.read"
+        metrics.register(socket.dma.write_meter)
+        metrics.register(socket.dma.latency)  # e.g. "afu0.latency"
+
+    platform = Platform(
         engine=engine,
         params=params,
         mode=mode,
@@ -194,4 +235,13 @@ def build_platform(
         shell=shell,
         sockets=sockets,
         monitor=monitor,
+        metrics=metrics,
     )
+
+    tracer = current_tracer()
+    if tracer is not None and engine.trace is not None:
+        engine.trace.set_process_name(
+            f"platform{engine.trace.pid} ({mode.value})"
+        )
+        tracer.on_finalize(platform.trace_flush)
+    return platform

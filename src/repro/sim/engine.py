@@ -22,6 +22,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.telemetry.tracer import current_tracer
 
 #: Type of a simulation process body.
 ProcessGenerator = Generator[Any, Any, Any]
@@ -228,6 +229,16 @@ class Engine:
         self._immediate: Deque[Tuple[int, int, Callable[..., None], tuple]] = deque()
         self._sequence = 0
         self._processes: List[Process] = []
+        # Tracing: captured once at construction.  ``trace`` is None unless
+        # a tracer was installed (repro.telemetry) when the engine was
+        # built, and every hook below guards on that — the dispatch loops
+        # themselves carry no tracing code at all.
+        tracer = current_tracer()
+        self.trace = tracer.scope("sim") if tracer is not None else None
+        self._trace_open: dict = {}
+        if self.trace is not None:
+            self._trace_run_tid = self.trace.thread("engine.run")
+            tracer.on_finalize(self._trace_flush)
 
     # -- scheduling --------------------------------------------------------
 
@@ -280,8 +291,34 @@ class Engine:
         """Start a generator process immediately (its first step runs now)."""
         process = Process(self, generator, name)
         self._processes.append(process)
+        if self.trace is not None:
+            self._trace_spawn(process)
         self.call_after(0, process._step, None)
         return process
+
+    # -- tracing (only reached with a tracer installed) ----------------------
+
+    def _trace_spawn(self, process: Process) -> None:
+        """Open a span for a process; closed when its completion fires."""
+        scope = self.trace
+        tid = scope.thread(process.name)
+        self._trace_open[process] = (self.now, tid)
+
+        def close(_future: Future) -> None:
+            opened = self._trace_open.pop(process, None)
+            if opened is not None:
+                scope.complete(process.name, opened[0], self.now, tid=opened[1],
+                               cat="engine")
+
+        process.completion.add_done_callback(close)
+
+    def _trace_flush(self) -> None:
+        """Emit still-open process spans (jobs alive at end of trace)."""
+        scope = self.trace
+        for process, (start_ps, tid) in list(self._trace_open.items()):
+            scope.complete(process.name, start_ps, self.now, tid=tid,
+                           cat="engine", args={"open": True})
+        self._trace_open.clear()
 
     # -- execution -----------------------------------------------------------
 
@@ -293,6 +330,16 @@ class Engine:
         processed.  When stopped by ``until_ps``, ``now`` is advanced to it so
         measurement windows are exact.
         """
+        if self.trace is None:
+            return self._drain(until_ps, max_events)
+        start_ps = self.now
+        try:
+            return self._drain(until_ps, max_events)
+        finally:
+            self.trace.complete("engine.run", start_ps, self.now,
+                                tid=self._trace_run_tid, cat="engine")
+
+    def _drain(self, until_ps: Optional[int], max_events: Optional[int]) -> int:
         processed = 0
         queue = self._queue
         immediate = self._immediate
@@ -339,6 +386,16 @@ class Engine:
         is reached first.  Drains events directly (no per-event re-entry
         into :meth:`run`), checking completion after each callback.
         """
+        if self.trace is None:
+            return self._drain_until(future, limit_ps)
+        start_ps = self.now
+        try:
+            return self._drain_until(future, limit_ps)
+        finally:
+            self.trace.complete("engine.run_until", start_ps, self.now,
+                                tid=self._trace_run_tid, cat="engine")
+
+    def _drain_until(self, future: Future, limit_ps: Optional[int]) -> Any:
         queue = self._queue
         immediate = self._immediate
         pop = heapq.heappop

@@ -5,16 +5,29 @@ warm-up interval, call :meth:`reset` on every instrument, run a measurement
 window, and then read rates/summaries.  Keeping warm-up out of the numbers
 matters: the first touches of a working set populate the IOTLB and would
 otherwise skew small-window measurements.
+
+Every instrument implements the uniform protocol consumed by
+:class:`repro.telemetry.MetricRegistry`:
+
+* ``name`` — a dotted hierarchical identifier;
+* ``reset()`` — zero the window/sample state;
+* ``summary() -> Optional[dict]`` — JSON-able summary, ``None`` when the
+  instrument has nothing to report (zero-width window, no samples).
+
+Constructing any instrument with ``registry=`` auto-registers it, so the
+construction site is also the registration site.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.sim.clock import PS_PER_S, to_ns
 from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.registry import MetricRegistry
 
 
 class BandwidthMeter:
@@ -26,12 +39,20 @@ class BandwidthMeter:
     can distinguish "no window yet" from a genuinely idle link.
     """
 
-    def __init__(self, engine: Engine, name: str = "bw") -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "bw",
+        *,
+        registry: Optional["MetricRegistry"] = None,
+    ) -> None:
         self.engine = engine
         self.name = name
         self.bytes_total = 0
         self.packets_total = 0
         self._window_start_ps = engine.now
+        if registry is not None:
+            registry.register(self)
 
     def record(self, size_bytes: int) -> None:
         self.bytes_total += size_bytes
@@ -46,6 +67,10 @@ class BandwidthMeter:
         self.bytes_total = 0
         self.packets_total = 0
         self._window_start_ps = self.engine.now
+
+    @property
+    def window_start_ps(self) -> int:
+        return self._window_start_ps
 
     @property
     def window_ps(self) -> int:
@@ -81,9 +106,16 @@ class LatencyRecorder:
     :meth:`summary`, which returns ``None`` when empty.
     """
 
-    def __init__(self, name: str = "latency") -> None:
+    def __init__(
+        self,
+        name: str = "latency",
+        *,
+        registry: Optional["MetricRegistry"] = None,
+    ) -> None:
         self.name = name
         self.samples_ps: List[int] = []
+        if registry is not None:
+            registry.register(self)
 
     def record(self, latency_ps: int) -> None:
         self.samples_ps.append(latency_ps)
@@ -94,6 +126,20 @@ class LatencyRecorder:
     @property
     def count(self) -> int:
         return len(self.samples_ps)
+
+    def steady_samples_ps(
+        self, *, skip_fraction: float = 0.5, max_skip: Optional[int] = None
+    ) -> List[int]:
+        """Samples past warm-up: drop the first ``skip_fraction`` of them.
+
+        ``max_skip`` caps the number dropped, so long runs keep a bounded
+        warm-up discard.  This is the public accessor experiments use for
+        steady-state means (instead of slicing ``samples_ps`` directly).
+        """
+        skip = int(len(self.samples_ps) * skip_fraction)
+        if max_skip is not None:
+            skip = min(skip, max_skip)
+        return self.samples_ps[skip:]
 
     def mean_ns(self) -> float:
         if not self.samples_ps:
@@ -128,11 +174,20 @@ class LatencyRecorder:
         }
 
 
-@dataclass
 class Counters:
     """A named bag of monotonically increasing event counters."""
 
-    values: Dict[str, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        name: str = "counters",
+        *,
+        values: Optional[Dict[str, int]] = None,
+        registry: Optional["MetricRegistry"] = None,
+    ) -> None:
+        self.name = name
+        self.values: Dict[str, int] = dict(values or {})
+        if registry is not None:
+            registry.register(self)
 
     def bump(self, name: str, amount: int = 1) -> None:
         self.values[name] = self.values.get(name, 0) + amount
@@ -145,6 +200,12 @@ class Counters:
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.values)
+
+    def summary(self) -> Optional[Dict[str, float]]:
+        """The counter values (sorted), or ``None`` when nothing counted."""
+        if not self.values:
+            return None
+        return {key: float(value) for key, value in sorted(self.values.items())}
 
 
 def normalized_range(values: List[float]) -> float:
@@ -176,11 +237,20 @@ class UtilizationTracker:
     the share its scheduling policy promises.
     """
 
-    def __init__(self, engine: Engine, name: str = "util") -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "util",
+        *,
+        registry: Optional["MetricRegistry"] = None,
+    ) -> None:
         self.engine = engine
         self.name = name
         self.busy_ps = 0
         self._busy_since: Optional[int] = None
+        self._window_start_ps = engine.now
+        if registry is not None:
+            registry.register(self)
 
     def begin(self) -> None:
         if self._busy_since is None:
@@ -193,11 +263,28 @@ class UtilizationTracker:
 
     def reset(self) -> None:
         self.busy_ps = 0
+        self._window_start_ps = self.engine.now
         if self._busy_since is not None:
             self._busy_since = self.engine.now
+
+    @property
+    def window_ps(self) -> int:
+        return self.engine.now - self._window_start_ps
 
     def current_busy_ps(self) -> int:
         extra = 0
         if self._busy_since is not None:
             extra = self.engine.now - self._busy_since
         return self.busy_ps + extra
+
+    def summary(self) -> Optional[Dict[str, float]]:
+        """Busy share over the window, or ``None`` for a zero-width window."""
+        window = self.window_ps
+        if window <= 0:
+            return None
+        busy = self.current_busy_ps()
+        return {
+            "busy_ps": float(busy),
+            "window_ps": float(window),
+            "utilization": busy / window,
+        }

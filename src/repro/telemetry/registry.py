@@ -1,0 +1,109 @@
+"""The metric registry: every instrument behind one uniform protocol.
+
+An *instrument* is anything exposing the three-member protocol
+
+* ``name`` — a dotted hierarchical identifier (``upi0.bw.to_mem``,
+  ``iommu.iotlb``, ``fleet.admission``);
+* ``reset()`` — zero the window/sample state;
+* ``summary() -> Optional[dict]`` — a JSON-able summary, or ``None``
+  when the instrument has nothing to report yet (zero-width window, no
+  samples).
+
+:class:`MetricRegistry` owns a flat namespace of instruments plus any
+number of *mounted* child registries under a prefix — the fleet layer
+mounts each node's platform registry as ``node0.``, ``node1.``, ... so a
+cluster-wide :meth:`snapshot` reads ``node0.iommu.iotlb`` next to
+``fleet.admission`` (hierarchy by naming, not by nesting lookups).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The uniform instrument protocol, checked at registration.
+_PROTOCOL = ("reset", "summary")
+
+
+class MetricRegistry:
+    """A named collection of instruments with a single snapshot surface."""
+
+    def __init__(self, name: str = "metrics") -> None:
+        self.name = name
+        self._instruments: Dict[str, Any] = {}
+        self._mounts: List[Tuple[str, "MetricRegistry"]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, instrument: Any, name: Optional[str] = None) -> Any:
+        """Add an instrument under ``name`` (default: its own ``name``).
+
+        Returns the instrument so construction sites can register inline.
+        """
+        resolved = name if name is not None else getattr(instrument, "name", None)
+        if not resolved:
+            raise ConfigurationError(
+                f"instrument {instrument!r} has no name; pass name= explicitly"
+            )
+        for member in _PROTOCOL:
+            if not callable(getattr(instrument, member, None)):
+                raise ConfigurationError(
+                    f"instrument {resolved!r} does not implement {member}()"
+                )
+        if resolved in self._instruments:
+            raise ConfigurationError(f"duplicate instrument name {resolved!r}")
+        self._instruments[resolved] = instrument
+        return instrument
+
+    def mount(self, prefix: str, child: "MetricRegistry") -> "MetricRegistry":
+        """Expose ``child``'s instruments under ``prefix`` (e.g. ``node0.``)."""
+        self._mounts.append((prefix, child))
+        return child
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        if name in self._instruments:
+            return self._instruments[name]
+        for prefix, child in self._mounts:
+            if name.startswith(prefix):
+                try:
+                    return child.get(name[len(prefix):])
+                except KeyError:
+                    continue
+        raise KeyError(name)
+
+    def names(self) -> List[str]:
+        collected = list(self._instruments)
+        for prefix, child in self._mounts:
+            collected.extend(prefix + n for n in child.names())
+        return sorted(collected)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.get(name)
+            return True
+        except KeyError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    # -- the uniform surface ----------------------------------------------
+
+    def reset(self) -> None:
+        for instrument in self._instruments.values():
+            instrument.reset()
+        for _prefix, child in self._mounts:
+            child.reset()
+
+    def snapshot(self) -> Dict[str, Optional[Dict[str, Any]]]:
+        """``{name: summary-or-None}`` over every instrument, sorted by name."""
+        out: Dict[str, Optional[Dict[str, Any]]] = {}
+        for name, instrument in self._instruments.items():
+            out[name] = instrument.summary()
+        for prefix, child in self._mounts:
+            for name, summary in child.snapshot().items():
+                out[prefix + name] = summary
+        return dict(sorted(out.items()))

@@ -63,7 +63,12 @@ class TestFleetCommand:
             "--seed", "5", "--json", *extra,
         )
         assert code == 0
-        return json.loads(out)
+        envelope = json.loads(out)
+        # Every --json mode shares one envelope shape.
+        assert envelope["experiment"] == "fleet"
+        assert envelope["params"]["requests"] == 40
+        assert envelope["params"]["nodes"] == 1
+        return envelope["results"]
 
     def test_fleet_json_summary(self, capsys):
         summary = self.fleet_summary(capsys)
@@ -78,3 +83,70 @@ class TestFleetCommand:
         second = self.fleet_summary(capsys)
         assert first["trace_digest"] == second["trace_digest"]
         assert first == second
+
+
+@pytest.fixture
+def stub_experiment(monkeypatch):
+    """A fast fake experiment returning a ResultTable (with one NaN cell)."""
+    from repro.experiments.harness import ResultTable
+
+    module = types.ModuleType("tests._stub_experiment")
+
+    def main():
+        table = ResultTable("stub table", ["x", "y"])
+        table.add("a", 1.5)
+        table.add("b", float("nan"))
+        print("human narration")
+        return table
+
+    module.main = main
+    monkeypatch.setitem(sys.modules, "tests._stub_experiment", module)
+    monkeypatch.setitem(cli.EXPERIMENTS, "stub", ("tests._stub_experiment", "stub"))
+
+
+class TestRunJson:
+    def test_run_json_envelope(self, capsys, stub_experiment):
+        code = cli.main(["run", "stub", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        envelope = json.loads(captured.out)
+        assert envelope["experiment"] == "stub"
+        assert envelope["params"] == {"jobs": 1, "reference": False}
+        assert envelope["results"]["title"] == "stub table"
+        assert envelope["results"]["columns"] == ["x", "y"]
+        assert envelope["results"]["rows"][0] == ["a", 1.5]
+        assert envelope["results"]["rows"][1][1] is None  # NaN -> null
+        # Narration must not pollute the machine-readable stream.
+        assert "human narration" not in captured.out
+        assert "human narration" in captured.err
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_json(self, capsys, stub_experiment, tmp_path):
+        target = tmp_path / "stub-trace.json"
+        code = cli.main(["trace", "stub", "--json", "--output", str(target)])
+        captured = capsys.readouterr()
+        assert code == 0
+        envelope = json.loads(captured.out)
+        assert envelope["experiment"] == "stub"
+        assert envelope["results"]["trace_file"] == str(target)
+        document = json.loads(target.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert sorted(envelope["results"]["span_categories"]) == (
+            envelope["results"]["span_categories"]
+        )
+
+    def test_trace_failure_exits_one(self, capsys, monkeypatch, tmp_path):
+        module = types.ModuleType("tests._boom_trace")
+
+        def main():
+            raise RuntimeError("deliberate failure under trace")
+
+        module.main = main
+        monkeypatch.setitem(sys.modules, "tests._boom_trace", module)
+        monkeypatch.setitem(cli.EXPERIMENTS, "boomtrace", ("tests._boom_trace", "x"))
+        code = cli.main(
+            ["trace", "boomtrace", "--output", str(tmp_path / "t.json")]
+        )
+        capsys.readouterr()
+        assert code == 1
