@@ -12,6 +12,8 @@ Usage::
     python -m repro run fig5 --json      # machine-readable result envelope
     python -m repro trace fig5 --quick   # Perfetto-loadable trace capture
     python -m repro fleet --nodes 4 --load 0.9 --seed 1   # fleet serving
+    python -m repro chaos fleet --plan single-node-crash  # fault injection
+    python -m repro chaos single --plan rogue-guest --json
 
 ``run`` exits non-zero if any experiment raises (and keeps going through
 the rest of ``all``, reporting every failure at the end).
@@ -54,6 +56,10 @@ EXPERIMENTS = {
     "fleet_scaling": (
         "repro.experiments.fleet_scaling",
         "fleet throughput + rejections vs node count x offered load",
+    ),
+    "chaos_recovery": (
+        "repro.experiments.chaos_recovery",
+        "availability + placement tails vs injected node-crash rate",
     ),
 }
 
@@ -149,6 +155,91 @@ def _fleet_command(args: argparse.Namespace) -> int:
         print("\nplacement trace:")
         for line in result.metrics.trace:
             print(f"  {line}")
+    return 0
+
+
+def _chaos_command(args: argparse.Namespace) -> int:
+    """Replay a fault plan and report injected events vs recovery outcomes."""
+    import dataclasses
+
+    from repro.errors import ReproError
+    from repro.faults import resolve_plan, run_single_chaos
+    from repro.sim.clock import ms
+
+    try:
+        plan = resolve_plan(args.plan)
+        if args.seed is not None:
+            plan = dataclasses.replace(plan, seed=args.seed)
+        if args.experiment == "fleet":
+            from repro.fleet import (
+                FleetCluster,
+                FleetService,
+                TrafficGenerator,
+                TrafficProfile,
+                make_policy,
+            )
+
+            cluster = FleetCluster.build(args.nodes)
+            generator = TrafficGenerator(
+                TrafficProfile(load=args.load),
+                fleet_slots=cluster.total_slots,
+                seed=args.traffic_seed,
+            )
+            service = FleetService(cluster, make_policy(args.policy))
+            service.install_faults(plan)
+            result = service.serve(generator.generate(args.requests))
+            results = {
+                "plan": _to_jsonable(plan.to_dict()),
+                "injected": _to_jsonable(result.fault_log.summary()),
+                "outcomes": result.outcome_counts(),
+                "availability": result.availability(),
+                "summary": _to_jsonable(result.summary()),
+            }
+        else:  # single
+            report = run_single_chaos(plan, window_ps=ms(args.window_ms))
+            results = {
+                "plan": _to_jsonable(plan.to_dict()),
+                "injected": _to_jsonable(report["fault_log"]),
+                "report": _to_jsonable(report),
+            }
+    except ReproError as error:
+        print(f"chaos: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        envelope = {
+            "experiment": "chaos",
+            "params": {
+                "mode": args.experiment,
+                "plan": args.plan,
+                "seed": plan.seed,
+                "nodes": args.nodes,
+                "requests": args.requests,
+                "load": args.load,
+                "traffic_seed": args.traffic_seed,
+                "policy": args.policy,
+                "window_ms": args.window_ms,
+                "reference": args.reference,
+            },
+            "results": results,
+        }
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+        return 0
+    print(f"chaos[{args.experiment}]: plan {plan.name} (seed {plan.seed}, "
+          f"digest {plan.digest()})")
+    for event in results["injected"]["events"]:
+        details = event.get("details", {})
+        extra = f" {details}" if details else ""
+        print(f"  {event['at_ps']:>15} ps  {event['kind']:<18} "
+              f"{event['target']:<10} -> {event['outcome']}{extra}")
+    if args.experiment == "fleet":
+        print(f"outcomes: {results['outcomes']}")
+        print(f"availability: {results['availability']:.4f}")
+    else:
+        report = results["report"]
+        print(f"victim progress: {report['victim_progress_units']} units")
+        print(f"violations: {report['violations']}")
+        print(f"quarantined: {report['watchdog']['quarantined'] or 'none'}")
+    print(f"recovery digest: {results['injected']['digest']}")
     return 0
 
 
@@ -274,6 +365,55 @@ def main(argv=None) -> int:
     fleet.add_argument(
         "--trace", action="store_true", help="print the full placement trace"
     )
+
+    chaos = sub.add_parser(
+        "chaos", help="inject a deterministic fault plan and watch recovery"
+    )
+    chaos.add_argument(
+        "experiment",
+        choices=["fleet", "single"],
+        help="fleet = serving loop under faults; single = one hypervisor",
+    )
+    chaos.add_argument(
+        "--plan",
+        default="single-node-crash",
+        metavar="PRESET|FILE",
+        help="fault-plan preset name or JSON plan file",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None, help="override the plan's seed"
+    )
+    chaos.add_argument("--nodes", type=int, default=3, help="fleet size")
+    chaos.add_argument(
+        "--requests", type=int, default=80, help="fleet request count"
+    )
+    chaos.add_argument("--load", type=float, default=0.85, help="offered load")
+    chaos.add_argument(
+        "--traffic-seed", type=int, default=1, help="tenant traffic seed"
+    )
+    chaos.add_argument(
+        "--policy",
+        default="best-fit",
+        choices=["first-fit", "best-fit", "affinity"],
+        help="placement policy",
+    )
+    chaos.add_argument(
+        "--window-ms",
+        type=int,
+        default=20,
+        metavar="MS",
+        help="single-platform run window in milliseconds",
+    )
+    chaos.add_argument(
+        "--reference",
+        action="store_true",
+        help="disable the simulator fast path (timing-equivalent reference mode)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable envelope of events vs outcomes",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "fleet":
@@ -302,6 +442,9 @@ def main(argv=None) -> int:
         # The env var also covers worker processes started via "spawn".
         os.environ["REPRO_FAST_PATH"] = "0"
         set_default_fast_path(False)
+
+    if args.command == "chaos":
+        return _chaos_command(args)
 
     if args.command == "trace":
         return _trace_command(args)

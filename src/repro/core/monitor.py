@@ -106,6 +106,19 @@ class HardwareMonitor:
 
     # -- reporting -----------------------------------------------------------------------
 
+    def violation_counts(self) -> dict:
+        """Aggregate isolation-violation counters across all auditors.
+
+        Sums every per-socket counter bag (fenced DMAs, discarded MMIO,
+        watchdog quarantines, ...) into one sorted name -> count dict; the
+        chaos experiments report this as the platform's violation surface.
+        """
+        totals: dict = {}
+        for auditor in self.auditors:
+            for name, value in auditor.counters.snapshot().items():
+                totals[name] = totals.get(name, 0) + value
+        return dict(sorted(totals.items()))
+
     @property
     def footprint(self) -> ResourceFootprint:
         return monitor_footprint(len(self.sockets), self.tree.node_count)

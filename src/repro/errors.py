@@ -74,3 +74,21 @@ class GuestError(ReproError):
 
 class SchedulerError(ReproError):
     """A temporal-multiplexing scheduler was misconfigured."""
+
+
+class UnknownTenantError(ConfigurationError):
+    """An eviction (or lookup) named a tenant the fleet does not hold.
+
+    Subclasses :class:`ConfigurationError` so pre-existing callers that
+    catch the broad class keep working; new callers — notably the failover
+    re-placement path — catch this precisely.
+    """
+
+    def __init__(self, tenant: str, where: str) -> None:
+        super().__init__(f"no tenant {tenant!r} {where}")
+        self.tenant = tenant
+        self.where = where
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault-injection plan is malformed (unknown kind, unsorted, ...)."""

@@ -13,6 +13,8 @@ from repro.experiments.harness import (
     OptimusStack,
     PassthroughStack,
     ResultTable,
+    Stack,
+    make_stack,
     measure_progress,
 )
 
@@ -22,5 +24,7 @@ __all__ = [
     "OptimusStack",
     "PassthroughStack",
     "ResultTable",
+    "Stack",
+    "make_stack",
     "measure_progress",
 ]

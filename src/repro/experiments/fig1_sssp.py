@@ -24,14 +24,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.accel.hostcentric import HostCentricSsspRunner
-from repro.experiments.harness import OptimusStack, PassthroughStack, ResultTable
+from repro.experiments.harness import ResultTable, make_stack
 from repro.kernels.graph import random_graph
 from repro.platform import PlatformMode, PlatformParams, build_platform
 from repro.sim.clock import to_ms
 
 
 def _shared_memory_ms(graph, *, virtualized: bool) -> float:
-    stack = PassthroughStack(PlatformParams(), virtualized=virtualized)
+    stack = make_stack("passthrough", PlatformParams(), virtualized=virtualized)
     start = stack.platform.engine.now
     launched = stack.launch("SSSP", graph=graph)
     completion = launched.job.completion

@@ -17,9 +17,8 @@ from typing import Dict, Optional
 
 from repro.experiments.harness import (
     ENDLESS,
-    OptimusStack,
-    PassthroughStack,
     ResultTable,
+    make_stack,
     measure_progress,
 )
 from repro.interconnect import VirtualChannel
@@ -42,33 +41,28 @@ THROUGHPUT_BENCHMARKS = [
 ]
 
 
-def _ll_latency_ns(optimus: bool, channel: VirtualChannel, *, hops: int, working_set: int) -> float:
+def _stack(mode: str):
+    """Both fig4 panels use default-parameter stacks of either mode."""
     params = PlatformParams()
-    if optimus:
-        stack = OptimusStack(params, n_accelerators=8)
-        launched = stack.launch(
-            "LL", working_set=working_set, channel=channel,
-            job_kwargs={"functional": False, "target_hops": hops},
-        )
-    else:
-        stack = PassthroughStack(params, virtualized=True)
-        launched = stack.launch(
-            "LL", working_set=working_set, channel=channel,
-            job_kwargs={"functional": False, "target_hops": hops},
-        )
+    if mode == "optimus":
+        return make_stack("optimus", params, n_accelerators=8)
+    return make_stack("passthrough", params, virtualized=True)
+
+
+def _ll_latency_ns(mode: str, channel: VirtualChannel, *, hops: int, working_set: int) -> float:
+    stack = _stack(mode)
+    launched = stack.launch(
+        "LL", working_set=working_set, channel=channel,
+        job_kwargs={"functional": False, "target_hops": hops},
+    )
     stack.run_for(ms(50))
     steady = launched.job.latency.steady_samples_ps(skip_fraction=0.2, max_skip=200)
     return sum(steady) / len(steady) / 1000 if steady else 0.0
 
 
-def _throughput(name: str, optimus: bool, *, window_us: int, graph=None) -> float:
-    params = PlatformParams()
-    if optimus:
-        stack = OptimusStack(params, n_accelerators=8)
-        launched = stack.launch(name, working_set=128 * MB, graph=graph)
-    else:
-        stack = PassthroughStack(params, virtualized=True)
-        launched = stack.launch(name, working_set=128 * MB, graph=graph)
+def _throughput(name: str, mode: str, *, window_us: int, graph=None) -> float:
+    stack = _stack(mode)
+    launched = stack.launch(name, working_set=128 * MB, graph=graph)
     in_bytes = name not in ("BTC",)
     rates = measure_progress(
         stack, [launched], warmup_ps=us(60), window_ps=us(window_us), in_bytes=in_bytes
@@ -84,8 +78,8 @@ def run(*, hops: int = 1500, window_us: int = 100, graph_vertices: int = 30_000,
         ["channel", "optimus_ns", "passthrough_ns", "normalized_%", "paper_%"],
     )
     for channel, label in ((VirtualChannel.VL0, "UPI"), (VirtualChannel.VH0, "PCIe")):
-        opt_ns = _ll_latency_ns(True, channel, hops=hops, working_set=64 * MB)
-        pt_ns = _ll_latency_ns(False, channel, hops=hops, working_set=64 * MB)
+        opt_ns = _ll_latency_ns("optimus", channel, hops=hops, working_set=64 * MB)
+        pt_ns = _ll_latency_ns("passthrough", channel, hops=hops, working_set=64 * MB)
         latency.add(label, opt_ns, pt_ns, 100.0 * opt_ns / pt_ns, PAPER_LATENCY[label])
 
     throughput = ResultTable(
@@ -95,8 +89,8 @@ def run(*, hops: int = 1500, window_us: int = 100, graph_vertices: int = 30_000,
     graph = random_graph(graph_vertices, graph_edges, seed=21)
     for name in THROUGHPUT_BENCHMARKS:
         g: Optional[object] = graph if name == "SSSP" else None
-        opt = _throughput(name, True, window_us=window_us, graph=g)
-        pt = _throughput(name, False, window_us=window_us, graph=g)
+        opt = _throughput(name, "optimus", window_us=window_us, graph=g)
+        pt = _throughput(name, "passthrough", window_us=window_us, graph=g)
         ratio = 100.0 * opt / pt if pt else 0.0
         throughput.add(name, opt, pt, ratio, PAPER_THROUGHPUT[name])
     throughput.note("optimus/passthrough columns: GB/s (BTC: hash attempts/us)")

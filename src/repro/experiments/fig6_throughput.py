@@ -19,8 +19,8 @@ from typing import Dict, List, Optional
 
 from repro.accel.membench import MODE_READ, MODE_WRITE
 from repro.experiments.harness import (
-    OptimusStack,
     ResultTable,
+    make_stack,
     measure_progress,
     parallel_map,
 )
@@ -43,7 +43,7 @@ def aggregate_throughput(
     speculative: bool = True,
 ) -> float:
     params = PlatformParams(page_size=page_size, speculative_region_opt=speculative)
-    stack = OptimusStack(params, n_accelerators=8)
+    stack = make_stack("optimus", params, n_accelerators=8)
     per_job = max(page_size, total_working_set // n_jobs)
     jobs = []
     for index in range(n_jobs):

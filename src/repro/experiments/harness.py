@@ -15,7 +15,15 @@ the paper-scale parameters for full runs (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.accel import make_job
 from repro.accel.base import AcceleratorJob
@@ -120,6 +128,36 @@ def _window_bytes_for(name: str, working_set: int, graph: Optional[CsrGraph]) ->
     return 2 * working_set + 8 * MB
 
 
+@runtime_checkable
+class Stack(Protocol):
+    """The mode-agnostic experiment surface.
+
+    Both :class:`OptimusStack` and :class:`PassthroughStack` satisfy this
+    protocol, so experiments written against it (and built through
+    :func:`make_stack`) never branch on the virtualization mode — the
+    single ``if optimus: ... else: ...`` pair lives in the factory.
+    """
+
+    params: PlatformParams
+    platform: Platform
+    jobs: List[LaunchedJob]
+
+    def launch(
+        self,
+        name: str,
+        *,
+        physical_index: int = ...,
+        working_set: int = ...,
+        stream_len: int = ...,
+        channel: VirtualChannel = ...,
+        graph: Optional[CsrGraph] = ...,
+        job_kwargs: Optional[dict] = ...,
+        start: bool = ...,
+    ) -> LaunchedJob: ...
+
+    def run_for(self, duration_ps: int) -> None: ...
+
+
 class OptimusStack:
     """An OPTIMUS platform + hypervisor with launch helpers."""
 
@@ -204,12 +242,19 @@ class PassthroughStack:
         self,
         name: str,
         *,
+        physical_index: int = 0,
         working_set: int = 64 * MB,
         stream_len: int = ENDLESS,
         channel: VirtualChannel = VirtualChannel.VA,
         graph: Optional[CsrGraph] = None,
         job_kwargs: Optional[dict] = None,
+        start: bool = True,
     ) -> LaunchedJob:
+        if physical_index != 0:
+            raise ConfigurationError(
+                "the pass-through baseline owns exactly one accelerator "
+                f"(physical_index 0, got {physical_index})"
+            )
         kwargs = dict(job_kwargs or {})
         kwargs.setdefault("functional", False)
         if name == "SSSP":
@@ -224,7 +269,8 @@ class PassthroughStack:
             graph=graph, seedling=0,
         )
         job.configure(registers)
-        self.hypervisor.start_job(job, channel=channel)
+        if start:
+            self.hypervisor.start_job(job, channel=channel)
         launched = LaunchedJob(
             name=name, job=job, handle=handle, cache_line=self.params.cache_line
         )
@@ -233,6 +279,34 @@ class PassthroughStack:
 
     def run_for(self, duration_ps: int) -> None:
         self.platform.run_for(duration_ps)
+
+
+#: Stack modes understood by :func:`make_stack`.
+STACK_MODES = ("optimus", "passthrough")
+
+
+def make_stack(
+    mode: str = "optimus",
+    params: Optional[PlatformParams] = None,
+    **kwargs,
+) -> Stack:
+    """Build an experiment stack by mode name — the one mode branch.
+
+    ``mode`` is ``"optimus"`` or ``"passthrough"`` (a
+    :class:`~repro.platform.PlatformMode` is also accepted).  Keyword
+    arguments are forwarded to the stack constructor: ``n_accelerators``
+    and ``mux_topology`` for OPTIMUS, ``virtualized`` for pass-through.
+    Experiments built on this (fig4, fig6, chaos, ...) stay mode-agnostic.
+    """
+    if isinstance(mode, PlatformMode):
+        mode = mode.value
+    if mode == "optimus":
+        return OptimusStack(params, **kwargs)
+    if mode == "passthrough":
+        return PassthroughStack(params, **kwargs)
+    raise ConfigurationError(
+        f"unknown stack mode {mode!r}; expected one of {STACK_MODES}"
+    )
 
 
 # -- parallel sweeps ---------------------------------------------------------------

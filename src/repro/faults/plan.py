@@ -1,0 +1,275 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is the whole chaos contract: a seed plus a list of
+timed :class:`FaultEvent` entries.  Replaying the same plan against the
+same stack (same traffic seed, same cluster shape, same simulator mode)
+produces a byte-identical recovery trace — the injector draws every
+"auto" target from one ``numpy.random.RandomState(plan.seed)`` in event
+order and touches nothing else stochastic.
+
+Plans come from three places, all normalized here:
+
+* **presets** (:data:`PRESETS`) — named scenarios used by tests, CI, and
+  ``python -m repro chaos --plan <preset>``;
+* **JSON files** (:meth:`FaultPlan.from_file`) — the CLI accepts a path
+  wherever it accepts a preset name;
+* **builders** (:func:`build_crash_plan`) — parameterized plans for
+  sweeps such as ``experiments/chaos_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import FaultPlanError
+from repro.sim.clock import ms
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy (DESIGN.md §8)."""
+
+    NODE_CRASH = "node_crash"
+    NODE_RECOVER = "node_recover"
+    LINK_DEGRADE = "link_degrade"
+    LINK_RESTORE = "link_restore"
+    GUEST_HANG = "guest_hang"
+    GUEST_RUNAWAY_DMA = "guest_runaway_dma"
+    IOTLB_THRASH = "iotlb_thrash"
+
+
+_KINDS_BY_VALUE = {kind.value: kind for kind in FaultKind}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault.  ``target`` names a node or tenant; ``"auto"``
+    defers the choice to the injector's seeded RNG at apply time."""
+
+    at_ps: int
+    kind: FaultKind
+    target: str = "auto"
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def param(self, key: str, default: float) -> float:
+        return float(self.params.get(key, default))
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "at_ps": self.at_ps,
+            "kind": self.kind.value,
+            "target": self.target,
+        }
+        if self.params:
+            payload["params"] = {k: self.params[k] for k in sorted(self.params)}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FaultEvent":
+        try:
+            kind = _KINDS_BY_VALUE[str(payload["kind"])]
+        except KeyError:
+            raise FaultPlanError(
+                f"unknown fault kind {payload.get('kind')!r}; "
+                f"expected one of {sorted(_KINDS_BY_VALUE)}"
+            )
+        if "at_ps" not in payload:
+            raise FaultPlanError("fault event needs an at_ps")
+        return cls(
+            at_ps=int(payload["at_ps"]),
+            kind=kind,
+            target=str(payload.get("target", "auto")),
+            params=dict(payload.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of timed fault events."""
+
+    seed: int
+    events: Tuple[FaultEvent, ...]
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if event.at_ps < 0:
+                raise FaultPlanError(f"fault event at negative time: {event}")
+        times = [event.at_ps for event in self.events]
+        if times != sorted(times):
+            raise FaultPlanError("fault events must be sorted by at_ps")
+
+    @classmethod
+    def of(cls, events, *, seed: int = 0, name: str = "custom") -> "FaultPlan":
+        """Build a plan, sorting events stably by time."""
+        ordered = tuple(sorted(events, key=lambda e: e.at_ps))
+        return cls(seed=seed, events=ordered, name=name)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FaultPlan":
+        events = payload.get("events")
+        if not isinstance(events, list):
+            raise FaultPlanError("fault plan needs an 'events' list")
+        return cls.of(
+            [FaultEvent.from_dict(entry) for entry in events],
+            seed=int(payload.get("seed", 0)),
+            name=str(payload.get("name", "custom")),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FaultPlanError(f"cannot load fault plan {path!r}: {exc}")
+        return cls.from_dict(payload)
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def digest(self) -> str:
+        """Stable fingerprint of the full plan (seed included)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(canonical).hexdigest()[:16]
+
+
+# -- presets ---------------------------------------------------------------------
+
+
+def _single_node_crash() -> FaultPlan:
+    """The acceptance-criteria scenario: node0 dies mid-serve, comes back."""
+    return FaultPlan.of(
+        [
+            FaultEvent(at_ps=ms(10), kind=FaultKind.NODE_CRASH, target="node0"),
+            FaultEvent(at_ps=ms(40), kind=FaultKind.NODE_RECOVER, target="node0"),
+        ],
+        seed=0,
+        name="single-node-crash",
+    )
+
+
+def _crash_quick() -> FaultPlan:
+    """CI smoke: the same shape, compressed to a few milliseconds.
+
+    ``ms(5)`` lands after the first session wave of the default traffic
+    profile, so the crash actually displaces live work.
+    """
+    return FaultPlan.of(
+        [
+            FaultEvent(at_ps=ms(5), kind=FaultKind.NODE_CRASH, target="node0"),
+            FaultEvent(at_ps=ms(10), kind=FaultKind.NODE_RECOVER, target="node0"),
+        ],
+        seed=0,
+        name="crash-quick",
+    )
+
+
+def _link_flap() -> FaultPlan:
+    return FaultPlan.of(
+        [
+            FaultEvent(at_ps=ms(5), kind=FaultKind.LINK_DEGRADE, target="node0",
+                       params={"factor": 8.0}),
+            FaultEvent(at_ps=ms(10), kind=FaultKind.LINK_RESTORE, target="node0"),
+            FaultEvent(at_ps=ms(15), kind=FaultKind.LINK_DEGRADE, target="node0",
+                       params={"factor": 8.0}),
+            FaultEvent(at_ps=ms(20), kind=FaultKind.LINK_RESTORE, target="node0"),
+        ],
+        seed=0,
+        name="link-flap",
+    )
+
+
+def _rogue_guest() -> FaultPlan:
+    return FaultPlan.of(
+        [
+            FaultEvent(at_ps=ms(6), kind=FaultKind.GUEST_HANG, target="auto"),
+            FaultEvent(at_ps=ms(9), kind=FaultKind.GUEST_RUNAWAY_DMA, target="auto",
+                       params={"dmas": 64}),
+        ],
+        seed=7,
+        name="rogue-guest",
+    )
+
+
+def _mixed() -> FaultPlan:
+    return FaultPlan.of(
+        [
+            FaultEvent(at_ps=ms(3), kind=FaultKind.LINK_DEGRADE, target="node0",
+                       params={"factor": 4.0}),
+            FaultEvent(at_ps=ms(5), kind=FaultKind.GUEST_HANG, target="auto"),
+            FaultEvent(at_ps=ms(8), kind=FaultKind.NODE_CRASH, target="node1"),
+            FaultEvent(at_ps=ms(12), kind=FaultKind.LINK_RESTORE, target="node0"),
+            FaultEvent(at_ps=ms(18), kind=FaultKind.GUEST_RUNAWAY_DMA, target="auto"),
+            FaultEvent(at_ps=ms(25), kind=FaultKind.NODE_RECOVER, target="node1"),
+            FaultEvent(at_ps=ms(30), kind=FaultKind.IOTLB_THRASH, target="node0",
+                       params={"span_ps": ms(5), "factor": 2.0}),
+        ],
+        seed=11,
+        name="mixed",
+    )
+
+
+PRESETS = {
+    "single-node-crash": _single_node_crash,
+    "crash-quick": _crash_quick,
+    "link-flap": _link_flap,
+    "rogue-guest": _rogue_guest,
+    "mixed": _mixed,
+}
+
+
+def resolve_plan(spec: str) -> FaultPlan:
+    """A preset name, or a path to a JSON plan file."""
+    maker = PRESETS.get(spec)
+    if maker is not None:
+        return maker()
+    if os.path.exists(spec):
+        return FaultPlan.from_file(spec)
+    raise FaultPlanError(
+        f"no fault-plan preset or file {spec!r}; presets: {sorted(PRESETS)}"
+    )
+
+
+# -- builders --------------------------------------------------------------------
+
+
+def build_crash_plan(
+    *,
+    n_crashes: int,
+    n_nodes: int,
+    window_ps: int,
+    outage_ps: int,
+    seed: int = 0,
+) -> FaultPlan:
+    """``n_crashes`` node crashes at seeded times inside ``window_ps``,
+    each recovering ``outage_ps`` later — the chaos_recovery sweep axis."""
+    if n_crashes < 0 or n_nodes < 1 or window_ps <= 0 or outage_ps <= 0:
+        raise FaultPlanError("invalid crash-plan parameters")
+    rng = np.random.RandomState(seed)
+    events: List[FaultEvent] = []
+    for _ in range(n_crashes):
+        at = int(rng.randint(1, window_ps))
+        node = f"node{int(rng.randint(n_nodes))}"
+        events.append(FaultEvent(at_ps=at, kind=FaultKind.NODE_CRASH, target=node))
+        events.append(
+            FaultEvent(at_ps=at + outage_ps, kind=FaultKind.NODE_RECOVER, target=node)
+        )
+    return FaultPlan.of(events, seed=seed, name=f"crash-sweep-{n_crashes}")

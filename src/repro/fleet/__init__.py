@@ -19,6 +19,12 @@ touching the single-node model:
 * :mod:`repro.fleet.metrics` — fleet-wide counters, placement-latency
   percentiles, and time-weighted per-type utilization.
 
+Fault tolerance (ISSUE 4): nodes carry a :class:`NodeHealth` state
+machine, eviction is a typed contract (:class:`EvictedPlacement` /
+:class:`repro.errors.UnknownTenantError`), and the serving loop re-places
+or cleanly fails sessions displaced by crashes injected through
+:mod:`repro.faults`.
+
 Everything is driven in *fleet simulated time* (integer picoseconds, the
 same unit as :mod:`repro.sim.clock`): placement is a control-plane
 operation, so the per-node packet simulators stay idle while the fleet
@@ -28,7 +34,7 @@ loop advances through arrivals, departures, and retries.
 from repro.fleet.admission import AdmissionConfig, FleetService, ServeResult
 from repro.fleet.cluster import DEFAULT_TEMPLATES, FleetCluster
 from repro.fleet.metrics import FleetMetrics
-from repro.fleet.node import FleetNode, NodeSpec
+from repro.fleet.node import EvictedPlacement, FleetNode, NodeHealth, NodeSpec
 from repro.fleet.placement import (
     POLICIES,
     BestFit,
@@ -44,11 +50,13 @@ __all__ = [
     "BestFit",
     "ConfigAffinity",
     "DEFAULT_TEMPLATES",
+    "EvictedPlacement",
     "FirstFit",
     "FleetCluster",
     "FleetMetrics",
     "FleetNode",
     "FleetService",
+    "NodeHealth",
     "NodeSpec",
     "POLICIES",
     "PlacementPolicy",

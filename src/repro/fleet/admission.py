@@ -17,6 +17,23 @@ serving open-loop traffic cannot afford that: overload must degrade
 The loop runs in fleet simulated time over a heap of arrival, retry, and
 departure events.  Ties break on insertion order, so a request trace is a
 pure function of (traffic seed, cluster shape, policy, admission config).
+
+Fault tolerance (ISSUE 4) extends the loop with two invariants:
+
+* **Typed outcomes** — every request terminates in exactly one outcome:
+  ``completed``, ``replaced_completed`` (displaced by a node crash and
+  finished elsewhere), ``failed_by_fault``, or ``rejected_*``.  Nothing
+  is ever silently dropped or left hung: live sessions carry an *epoch*
+  so a crash or quarantine invalidates the stale departure event instead
+  of racing it.
+* **Quarantine is one-way** — a tenant benched by the fleet watchdog
+  (no forward progress within ``watchdog_deadline_ps``) never regains a
+  slot within the serving window.
+
+Faults enter through :meth:`FleetService.install_faults` (a
+:class:`~repro.faults.plan.FaultPlan`); the injector replays the plan's
+events inside this loop's simulated time, so recovery is byte-for-byte
+deterministic for a given (plan, seed, traffic seed) triple.
 """
 
 from __future__ import annotations
@@ -28,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.fleet.cluster import FleetCluster
 from repro.fleet.metrics import FleetMetrics
+from repro.fleet.node import NodeHealth
 from repro.fleet.placement import PlacementPolicy
 from repro.fleet.traffic import TenantRequest
 from repro.sim.clock import ms, us
@@ -36,6 +54,11 @@ from repro.sim.clock import ms, us
 #: mediated-device creation, window probe — dominated by trap-and-emulate
 #: MMIO (~1.5 us each, §2.1); a few dozen round trips.
 DEFAULT_PLACEMENT_COST_PS = us(50)
+
+#: Failover re-placement costs more than a fresh placement: the fleet must
+#: notice the crash, tear down bookkeeping, and re-drive the full placement
+#: protocol on the destination node.
+DEFAULT_REPLACEMENT_COST_PS = us(100)
 
 
 @dataclass(frozen=True)
@@ -47,12 +70,23 @@ class AdmissionConfig:
     backoff_ps: int = ms(2)
     backoff_factor: float = 2.0
     placement_cost_ps: int = DEFAULT_PLACEMENT_COST_PS
+    replacement_cost_ps: int = DEFAULT_REPLACEMENT_COST_PS
+    #: Fleet watchdog: a hung guest is quarantined this long after the hang
+    #: is injected (mirrors the hv-level GuestWatchdog deadline).
+    watchdog_deadline_ps: int = ms(5)
+    #: Sessions placed on a DEGRADED node run this much longer (1.0 = the
+    #: default, keeps fault-free traces byte-identical to older versions).
+    degraded_slowdown: float = 1.0
 
     def __post_init__(self) -> None:
         if self.queue_limit < 0 or self.max_retries < 0:
             raise ConfigurationError("queue limit and retries must be >= 0")
         if self.backoff_ps <= 0 or self.backoff_factor < 1.0:
             raise ConfigurationError("invalid backoff parameters")
+        if self.watchdog_deadline_ps <= 0:
+            raise ConfigurationError("watchdog deadline must be positive")
+        if self.degraded_slowdown < 1.0:
+            raise ConfigurationError("degraded slowdown must be >= 1")
 
     def backoff_for(self, attempt: int) -> int:
         """Delay before retry ``attempt`` (1-based)."""
@@ -66,11 +100,37 @@ class ServeResult:
     metrics: FleetMetrics
     requests: int
     span_ps: int
+    #: request_id -> typed outcome (completed / replaced_completed /
+    #: failed_by_fault / rejected_<reason>).  Every request that entered
+    #: the loop appears exactly once.
+    outcomes: Dict[int, str] = field(default_factory=dict)
+    #: Populated when a fault plan was installed (repro.faults).
+    fault_log: Optional[object] = None
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes.values():
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def availability(self) -> float:
+        """Fraction of *accepted* requests that eventually completed."""
+        accepted = completed = 0
+        for outcome in self.outcomes.values():
+            if outcome in ("completed", "replaced_completed", "failed_by_fault"):
+                accepted += 1
+                if outcome != "failed_by_fault":
+                    completed += 1
+        return completed / accepted if accepted else 1.0
 
     def summary(self) -> Dict[str, object]:
         result = dict(self.metrics.summary())
         result["requests"] = self.requests
         result["span_ps"] = self.span_ps
+        result["outcomes"] = self.outcome_counts()
+        result["availability"] = self.availability()
+        if self.fault_log is not None:
+            result["fault_log"] = self.fault_log.summary()
         return result
 
 
@@ -78,6 +138,18 @@ class ServeResult:
 class _Pending:
     request: TenantRequest
     attempts: int = 0
+
+
+@dataclass
+class _Session:
+    """One live placement.  ``epoch`` invalidates stale heap events."""
+
+    request: TenantRequest
+    node_name: str
+    physical_index: int
+    epoch: int
+    depart_ps: int
+    replaced: bool = False
 
 
 class FleetService:
@@ -98,6 +170,21 @@ class FleetService:
         self._heap: List[Tuple[int, int, str, object]] = []
         self._seq = 0
         self._pending: Dict[int, _Pending] = {}  # insertion order == FIFO
+        self._sessions: Dict[str, _Session] = {}
+        self._epoch = 0
+        self._quarantined: set = set()
+        self.outcomes: Dict[int, str] = {}
+        self._injector = None
+
+    # -- fault installation -----------------------------------------------------------
+
+    def install_faults(self, plan) -> object:
+        """Attach a :class:`~repro.faults.plan.FaultPlan`; returns the
+        injector (whose log ends up on the :class:`ServeResult`)."""
+        from repro.faults.injector import FleetFaultInjector
+
+        self._injector = FleetFaultInjector(self, plan)
+        return self._injector
 
     # -- event plumbing ---------------------------------------------------------------
 
@@ -109,6 +196,10 @@ class FleetService:
 
     def serve(self, requests: Sequence[TenantRequest]) -> ServeResult:
         """Run the full trace to quiescence; never raises ``SchedulerError``."""
+        if self._injector is not None:
+            # Faults enter the heap first so that, at equal timestamps, an
+            # injected event lands before the request arriving that instant.
+            self._injector.schedule()
         for request in requests:
             self._push(request.arrival_ps, "arrival", request)
         now = 0
@@ -119,24 +210,30 @@ class FleetService:
                 self._on_arrival(payload, now)
             elif kind == "retry":
                 self._on_retry(payload, now)
-            else:  # departure
+            elif kind == "departure":
                 self._on_departure(payload, now)
-        return ServeResult(metrics=self.metrics, requests=len(requests), span_ps=now)
+            elif kind == "fault":
+                self._injector.apply(payload, now)
+            else:  # watchdog
+                self._on_watchdog(payload, now)
+        return ServeResult(
+            metrics=self.metrics,
+            requests=len(requests),
+            span_ps=now,
+            outcomes=dict(self.outcomes),
+            fault_log=self._injector.log if self._injector is not None else None,
+        )
 
     # -- event handlers ---------------------------------------------------------------
 
     def _on_arrival(self, request: TenantRequest, now: int) -> None:
         if self.cluster.capacity(request.accel_type) == 0:
-            self.metrics.record_rejection(
-                now_ps=now, request=request, reason="unsupported"
-            )
+            self._reject(request, now, "unsupported")
             return
         if self._try_place(request, now):
             return
         if len(self._pending) >= self.admission.queue_limit:
-            self.metrics.record_rejection(
-                now_ps=now, request=request, reason="queue_full"
-            )
+            self._reject(request, now, "queue_full")
             return
         self._pending[request.request_id] = _Pending(request)
         self.metrics.record_queued(
@@ -157,17 +254,39 @@ class FleetService:
             return
         if entry.attempts >= self.admission.max_retries:
             del self._pending[request_id]
-            self.metrics.record_rejection(
-                now_ps=now, request=entry.request, reason="retries_exhausted"
-            )
+            self._reject(entry.request, now, "retries_exhausted")
             return
         self._push(
             now + self.admission.backoff_for(entry.attempts + 1), "retry", request_id
         )
 
-    def _on_departure(self, tenant_name: str, now: int) -> None:
+    def _on_departure(self, payload, now: int) -> None:
+        tenant_name, epoch = payload
+        session = self._sessions.get(tenant_name)
+        if session is None or session.epoch != epoch:
+            return  # stale: the session was crashed away or quarantined
+        del self._sessions[tenant_name]
         self.cluster.evict(tenant_name)
         self.metrics.record_departure(now_ps=now, tenant=tenant_name)
+        self.outcomes[session.request.request_id] = (
+            "replaced_completed" if session.replaced else "completed"
+        )
+        self._drain(now)
+
+    def _on_watchdog(self, payload, now: int) -> None:
+        """The fleet watchdog fires: quarantine a hung guest, free its slot."""
+        tenant_name, epoch = payload
+        session = self._sessions.get(tenant_name)
+        if session is None or session.epoch != epoch:
+            return
+        del self._sessions[tenant_name]
+        self.cluster.evict(tenant_name)
+        self._quarantined.add(tenant_name)
+        self.outcomes[session.request.request_id] = "failed_by_fault"
+        self.metrics.record_quarantine(now_ps=now, tenant=tenant_name)
+        self._drain(now)
+
+    def _drain(self, now: int) -> None:
         # FIFO drain: place every waiting request that now fits.  Requests
         # for still-saturated types stay queued without blocking others.
         for request_id in list(self._pending):
@@ -175,21 +294,125 @@ class FleetService:
             if self._try_place(entry.request, now):
                 del self._pending[request_id]
 
+    def _reject(self, request: TenantRequest, now: int, reason: str) -> None:
+        self.metrics.record_rejection(now_ps=now, request=request, reason=reason)
+        self.outcomes[request.request_id] = f"rejected_{reason}"
+
+    # -- fault-side entry points (called by the injector) ------------------------------
+
+    def active_tenants(self) -> List[str]:
+        """Live sessions in deterministic order (injector target pool)."""
+        return sorted(self._sessions)
+
+    def session_node(self, tenant_name: str) -> Optional[str]:
+        session = self._sessions.get(tenant_name)
+        return session.node_name if session is not None else None
+
+    def session_placement(self, tenant_name: str) -> Optional[Tuple[str, int]]:
+        """(node name, physical slot) of a live session, or ``None``."""
+        session = self._sessions.get(tenant_name)
+        if session is None:
+            return None
+        return session.node_name, session.physical_index
+
+    def apply_node_crash(self, name: str, now: int) -> List[Tuple[str, str]]:
+        """Crash a node; re-place or cleanly fail every displaced session.
+
+        Returns ``(tenant, resolution)`` pairs, resolution in
+        ``{"replaced", "failed_by_fault"}``.  Re-placement rides the same
+        typed evict/place contract as normal serving — no occupancy is
+        mutated directly.
+        """
+        displaced = self.cluster.crash_node(name)
+        resolutions: List[Tuple[str, str]] = []
+        for placement in displaced:
+            session = self._sessions.pop(placement.tenant, None)
+            if session is None:  # not ours (defensive; cannot happen today)
+                continue
+            remaining = max(0, session.depart_ps - now)
+            request = session.request
+            if self._try_place(
+                request, now, remaining_ps=remaining, replaced=True
+            ):
+                resolutions.append((placement.tenant, "replaced"))
+            else:
+                self.outcomes[request.request_id] = "failed_by_fault"
+                self.metrics.record_fault_failure(
+                    now_ps=now, tenant=placement.tenant, reason="node_crash"
+                )
+                resolutions.append((placement.tenant, "failed_by_fault"))
+        return resolutions
+
+    def apply_node_recover(self, name: str, now: int) -> None:
+        self.cluster.recover_node(name)
+        self._drain(now)  # recovered capacity unblocks the queue immediately
+
+    def arm_watchdog(self, tenant_name: str, now: int) -> bool:
+        """A guest-hang fault landed on ``tenant_name``: its session will
+        never finish on its own.  Cancel the scheduled departure (epoch
+        bump) and let the watchdog reclaim the slot after the deadline."""
+        session = self._sessions.get(tenant_name)
+        if session is None:
+            return False
+        self._epoch += 1
+        session.epoch = self._epoch  # the old departure event is now stale
+        self._push(
+            now + self.admission.watchdog_deadline_ps,
+            "watchdog",
+            (tenant_name, session.epoch),
+        )
+        return True
+
     # -- placement --------------------------------------------------------------------
 
-    def _try_place(self, request: TenantRequest, now: int) -> bool:
+    def _try_place(
+        self,
+        request: TenantRequest,
+        now: int,
+        *,
+        remaining_ps: Optional[int] = None,
+        replaced: bool = False,
+    ) -> bool:
+        if request.tenant in self._quarantined:
+            return False  # quarantined guests never regain a slot
         placed = self.cluster.place(request.tenant, request.accel_type, self.policy)
         if placed is None:
             return False
         node, tenant = placed
-        done = now + self.admission.placement_cost_ps
-        self.metrics.record_placement(
-            now_ps=now,
+        cost = (
+            self.admission.replacement_cost_ps
+            if replaced
+            else self.admission.placement_cost_ps
+        )
+        done = now + cost
+        session_ps = request.session_ps if remaining_ps is None else remaining_ps
+        if node.health is NodeHealth.DEGRADED:
+            session_ps = int(session_ps * self.admission.degraded_slowdown)
+        self._epoch += 1
+        self._sessions[request.tenant] = _Session(
             request=request,
             node_name=node.name,
             physical_index=tenant.physical_index,
-            temporal=tenant.oversubscribed,
-            latency_ps=done - request.arrival_ps,
+            epoch=self._epoch,
+            depart_ps=done + session_ps,
+            replaced=replaced,
         )
-        self._push(done + request.session_ps, "departure", request.tenant)
+        if replaced:
+            self.metrics.record_replacement(
+                now_ps=now,
+                request=request,
+                node_name=node.name,
+                physical_index=tenant.physical_index,
+                latency_ps=cost,
+            )
+        else:
+            self.metrics.record_placement(
+                now_ps=now,
+                request=request,
+                node_name=node.name,
+                physical_index=tenant.physical_index,
+                temporal=tenant.oversubscribed,
+                latency_ps=done - request.arrival_ps,
+            )
+        self._push(done + session_ps, "departure", (request.tenant, self._epoch))
         return True

@@ -13,8 +13,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.provider import Tenant
-from repro.errors import ConfigurationError
-from repro.fleet.node import DEFAULT_MAX_OVERSUB, FleetNode, NodeSpec
+from repro.errors import ConfigurationError, UnknownTenantError
+from repro.fleet.node import (
+    DEFAULT_MAX_OVERSUB,
+    EvictedPlacement,
+    FleetNode,
+    NodeHealth,
+    NodeSpec,
+)
 from repro.fleet.placement import PlacementPolicy
 from repro.platform.params import PlatformParams
 from repro.telemetry import MetricRegistry
@@ -96,21 +102,64 @@ class FleetCluster:
     def place(
         self, tenant_name: str, accel_type: str, policy: PlacementPolicy
     ) -> Optional[Tuple[FleetNode, Tenant]]:
-        """Place a tenant via ``policy``; ``None`` when the fleet is full."""
+        """Place a tenant via ``policy``; ``None`` when the fleet is full.
+
+        DEAD nodes are invisible to the policy — admission never routes
+        to a crashed node.
+        """
         if tenant_name in self.tenant_nodes:
             raise ConfigurationError(f"tenant {tenant_name!r} already placed")
-        node = policy.choose(self.nodes, accel_type)
+        alive = [n for n in self.nodes if n.health is not NodeHealth.DEAD]
+        if not alive:
+            return None
+        node = policy.choose(alive, accel_type)
         if node is None:
             return None
         tenant = node.place(tenant_name, accel_type)
         self.tenant_nodes[tenant_name] = node
         return node, tenant
 
-    def evict(self, tenant_name: str) -> None:
+    def evict(self, tenant_name: str) -> EvictedPlacement:
+        """Evict fleet-wide; returns the undone placement (typed contract).
+
+        Raises :class:`~repro.errors.UnknownTenantError` when the tenant
+        is nowhere in the fleet.
+        """
         node = self.tenant_nodes.pop(tenant_name, None)
         if node is None:
-            raise ConfigurationError(f"no tenant {tenant_name!r} in the fleet")
-        node.evict(tenant_name)
+            raise UnknownTenantError(tenant_name, "in the fleet")
+        return node.evict(tenant_name)
+
+    # -- node health ------------------------------------------------------------------
+
+    def node(self, name: str) -> FleetNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ConfigurationError(f"no node {name!r} in the fleet")
+
+    def crash_node(self, name: str) -> List[EvictedPlacement]:
+        """Kill a node; every resident is displaced through the typed
+        evict contract (deterministic name order) and returned so the
+        serving layer can re-place or cleanly fail each one."""
+        node = self.node(name)
+        displaced = []
+        # The node's resident set is authoritative (tenants placed directly
+        # on the node are displaced too); the fleet index is cleaned along
+        # the way for those the cluster placed itself.
+        for tenant in sorted(node.tenants):
+            self.tenant_nodes.pop(tenant, None)
+            displaced.append(node.evict(tenant))
+        node.crash()
+        return displaced
+
+    def recover_node(self, name: str) -> FleetNode:
+        node = self.node(name)
+        node.recover()
+        return node
+
+    def health_report(self) -> Dict[str, str]:
+        return {node.name: node.health.value for node in self.nodes}
 
     # -- reporting --------------------------------------------------------------------
 

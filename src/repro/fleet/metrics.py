@@ -38,6 +38,12 @@ class FleetMetrics:
         self.placement_latency = LatencyRecorder(
             "fleet.placement", registry=self.registry
         )
+        # The ``faults.*`` subtree: injected events, recovery actions, and
+        # their outcomes, all visible through the fleet registry snapshot.
+        self.fault_counters = Counters(name="faults.fleet", registry=self.registry)
+        self.replacement_latency = LatencyRecorder(
+            "faults.replacement", registry=self.registry
+        )
         self.placed_by_type: Dict[str, int] = {}
         self.trace: List[str] = []
         self._util_integral_ps: Dict[str, float] = {}
@@ -117,6 +123,57 @@ class FleetMetrics:
                 "fleet.reject", now_ps, tid=self._trace_tid_admission, cat="fleet",
                 args={"tenant": request.tenant, "reason": reason})
 
+    def record_fault(self, *, now_ps: int, kind: str, target: str, outcome: str) -> None:
+        """One injected fault event and how the fleet resolved it."""
+        self.fault_counters.bump("injected")
+        self.fault_counters.bump(f"injected_{kind}")
+        self.fault_counters.bump(f"outcome_{outcome}")
+        self.trace.append(f"{now_ps} fault {kind} {target} -> {outcome}")
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.fault", now_ps, tid=self._trace_tid_admission, cat="fault",
+                args={"kind": kind, "target": target, "outcome": outcome})
+
+    def record_replacement(
+        self,
+        *,
+        now_ps: int,
+        request,
+        node_name: str,
+        physical_index: int,
+        latency_ps: int,
+    ) -> None:
+        """A displaced session re-placed on a healthy node (failover)."""
+        self.fault_counters.bump("replacements")
+        self.replacement_latency.record(latency_ps)
+        self.trace.append(
+            f"{now_ps} {request.tenant} {request.accel_type} ~> "
+            f"{node_name}/slot{physical_index} replaced"
+        )
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.replace", now_ps, tid=self._trace_tid_admission, cat="fault",
+                args={"tenant": request.tenant, "node": node_name,
+                      "slot": physical_index})
+
+    def record_quarantine(self, *, now_ps: int, tenant: str) -> None:
+        """The fleet watchdog benched a guest making no forward progress."""
+        self.fault_counters.bump("quarantines")
+        self.trace.append(f"{now_ps} {tenant} -> quarantined")
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.quarantine", now_ps, tid=self._trace_tid_admission,
+                cat="fault", args={"tenant": tenant})
+
+    def record_fault_failure(self, *, now_ps: int, tenant: str, reason: str) -> None:
+        """An accepted request terminated because of an injected fault."""
+        self.fault_counters.bump("failed_by_fault")
+        self.trace.append(f"{now_ps} {tenant} -> failed_by_fault ({reason})")
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.fault_failure", now_ps, tid=self._trace_tid_admission,
+                cat="fault", args={"tenant": tenant, "reason": reason})
+
     def record_departure(self, *, now_ps: int, tenant: str) -> None:
         self.counters.bump("departures")
         if self._trace_scope is not None:
@@ -191,6 +248,7 @@ class FleetMetrics:
             "placement_latency": latency,  # None when nothing was placed
             "placed_by_type": dict(sorted(self.placed_by_type.items())),
             "utilization_by_type": self.utilization_by_type(),
+            "faults": dict(sorted(self.fault_counters.snapshot().items())),
             "trace_digest": self.trace_digest(),
         }
 

@@ -9,12 +9,13 @@ and a load figure the placement policies can compare across nodes.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cloud.library import AcceleratorLibrary, FpgaConfiguration
 from repro.cloud.provider import CloudProvider, Tenant
-from repro.errors import ConfigurationError, SchedulerError
+from repro.errors import ConfigurationError, SchedulerError, UnknownTenantError
 from repro.mem.address import GB, MB
 from repro.platform.params import PlatformParams
 
@@ -23,6 +24,37 @@ from repro.platform.params import PlatformParams
 #: (Fig. 8); a provider keeps the depth lower so every tenant retains a
 #: useful share of slot time.
 DEFAULT_MAX_OVERSUB = 4
+
+
+class NodeHealth(enum.Enum):
+    """The fleet-level health state machine of one node.
+
+    ``HEALTHY -> DEGRADED`` (link degradation, IOTLB thrash) and back via
+    :meth:`FleetNode.restore`; ``* -> DEAD`` on :meth:`FleetNode.crash`
+    and ``DEAD -> HEALTHY`` on :meth:`FleetNode.recover`.  Admission never
+    routes to a DEAD node; DEGRADED nodes keep serving (optionally with a
+    session slowdown, see :class:`~repro.fleet.admission.AdmissionConfig`).
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class EvictedPlacement:
+    """What :meth:`FleetNode.evict` returns: the placement that was undone.
+
+    The failover re-placement path consumes these — everything needed to
+    re-admit the displaced tenant elsewhere is here, with no reference to
+    the (possibly dead) node's live objects.
+    """
+
+    tenant: str
+    accel_type: str
+    node_name: str
+    physical_index: int
+    oversubscribed: bool
 
 
 @dataclass(frozen=True)
@@ -55,6 +87,7 @@ class FleetNode:
         self.provider = CloudProvider(self.configuration, params=params, library=library)
         self.max_oversub = max_oversub
         self.tenants: Dict[str, Tenant] = {}
+        self.health = NodeHealth.HEALTHY
 
     # -- identity -------------------------------------------------------------------
 
@@ -112,6 +145,8 @@ class FleetNode:
         return self.capacity(accel_type) / self.total_slots
 
     def can_place(self, accel_type: str, *, oversubscribe: bool = True) -> bool:
+        if self.health is NodeHealth.DEAD:
+            return False
         if self.capacity(accel_type) == 0:
             return False
         if self.free_slots(accel_type) > 0:
@@ -148,8 +183,54 @@ class FleetNode:
         self.tenants[tenant_name] = tenant
         return tenant
 
-    def evict(self, tenant_name: str) -> None:
+    def evict(self, tenant_name: str) -> EvictedPlacement:
+        """Remove one tenant; return the placement that was undone.
+
+        Raises :class:`~repro.errors.UnknownTenantError` (a
+        ``ConfigurationError`` subclass) when the tenant is not resident —
+        the defined contract every caller, including failover re-placement,
+        goes through.  No other path mutates occupancy.
+        """
         tenant = self.tenants.pop(tenant_name, None)
         if tenant is None:
-            raise ConfigurationError(f"no tenant {tenant_name!r} on node {self.name}")
+            raise UnknownTenantError(tenant_name, f"on node {self.name}")
+        placement = EvictedPlacement(
+            tenant=tenant.name,
+            accel_type=tenant.accel_type,
+            node_name=self.name,
+            physical_index=tenant.physical_index,
+            oversubscribed=tenant.oversubscribed,
+        )
         self.provider.evict(tenant)
+        return placement
+
+    # -- health transitions ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Mark the node DEAD.  The cluster evicts residents first (typed
+        contract), so by the time the health flips, occupancy is empty."""
+        self.health = NodeHealth.DEAD
+
+    def recover(self) -> None:
+        """A crashed node rejoins empty (reprovisioned from scratch)."""
+        self.restore()
+        self.health = NodeHealth.HEALTHY
+
+    def degrade(self, factor: float) -> None:
+        """Degrade every CPU-FPGA link by ``factor`` and mark DEGRADED."""
+        if self.health is NodeHealth.DEAD:
+            raise ConfigurationError(f"cannot degrade dead node {self.name}")
+        for link in self.provider.platform.links:
+            link.degrade(factor)
+        self.health = NodeHealth.DEGRADED
+
+    def restore(self) -> None:
+        """Links back to nominal; DEGRADED -> HEALTHY (DEAD stays DEAD)."""
+        for link in self.provider.platform.links:
+            link.restore()
+        if self.health is NodeHealth.DEGRADED:
+            self.health = NodeHealth.HEALTHY
+
+    def rebalance(self) -> int:
+        """Spread oversubscribed slots via live migration (§7.1 machinery)."""
+        return self.provider.rebalance()

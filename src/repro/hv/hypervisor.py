@@ -93,6 +93,9 @@ class OptimusHypervisor:
         self._dummy_frame: Optional[int] = None
         self._started: Dict[int, bool] = {}
         self.mmio_traps = 0
+        # Optional per-guest forward-progress watchdog (repro.hv.watchdog);
+        # enabled explicitly because it spawns one process per vaccel.
+        self.watchdog = None
 
     # -- host memory services -----------------------------------------------------
 
@@ -143,6 +146,8 @@ class OptimusHypervisor:
         self.vaccels.append(vaccel)
         self.physical[physical_index].attach(vaccel)
         self._started[vaccel.vaccel_id] = False
+        if self.watchdog is not None:
+            self.watchdog.watch(vaccel)
         return vaccel
 
     def connect(
@@ -165,6 +170,23 @@ class OptimusHypervisor:
             vm, job, physical_index=physical_index
         )
         return GuestAccelerator(self, vm, vaccel, window_bytes=window_bytes)
+
+    def enable_watchdog(self, deadline_ps: int):
+        """Turn on the per-guest forward-progress watchdog.
+
+        Existing vaccels are adopted immediately; future ones are watched
+        from :meth:`create_virtual_accelerator`.  Returns the watchdog so
+        callers can read its quarantine log.
+        """
+        from repro.hv.watchdog import GuestWatchdog
+
+        if self.watchdog is None:
+            self.watchdog = GuestWatchdog(self, deadline_ps)
+        else:
+            self.watchdog.deadline_ps = deadline_ps
+        for vaccel in self.vaccels:
+            self.watchdog.watch(vaccel)
+        return self.watchdog
 
     def migrate_virtual_accelerator(
         self, vaccel: VirtualAccelerator, destination_index: int

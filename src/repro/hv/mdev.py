@@ -81,6 +81,10 @@ class VirtualAccelerator:
         self.preempt_count = 0
         self.forced_resets = 0
 
+        # Set by the guest watchdog when the job stops making forward
+        # progress: a quarantined vaccel never re-enters the runnable set.
+        self.quarantined = False
+
     # -- identity -----------------------------------------------------------------
 
     @property

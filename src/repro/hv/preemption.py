@@ -100,7 +100,10 @@ class PhysicalAccelerator:
     # -- the scheduling loop ------------------------------------------------------------
 
     def _runnable(self) -> List[VirtualAccelerator]:
-        return [va for va in self.vaccels if va.started and not va.job.done]
+        return [
+            va for va in self.vaccels
+            if va.started and not va.job.done and not va.quarantined
+        ]
 
     def _schedule_loop(self) -> Generator:
         while True:
@@ -245,7 +248,10 @@ class PhysicalAccelerator:
         vaccel = self.current
         process = self.current_process
         assert vaccel is not None and process is not None
-        vaccel.crashes = getattr(vaccel, "crashes", 0) + 1
+        if not vaccel.quarantined:
+            # Quarantines are counted by the watchdog (auditor violation
+            # counters), not as spontaneous circuit crashes.
+            vaccel.crashes = getattr(vaccel, "crashes", 0) + 1
         vaccel.job.done = True  # dead: never scheduled again
         self.socket.reset()
         if vaccel.utilization is not None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable
 
+from repro.errors import ConfigurationError
 from repro.sim.clock import gbps_to_bytes_per_ps
 from repro.sim.engine import Engine
 from repro.sim.port import ThroughputServer
@@ -47,6 +48,8 @@ class Link:
         self.kind = kind
         self.latency_ps = latency_ps
         rate = gbps_to_bytes_per_ps(bandwidth_gbps)
+        self._nominal_rate = rate
+        self.degrade_factor = 1.0
         self.to_memory = ThroughputServer(engine, f"{name}.to_mem", rate, latency_ps)
         self.from_memory = ThroughputServer(engine, f"{name}.from_mem", rate, latency_ps)
         self.meter_to_memory = BandwidthMeter(engine, f"{name}.bw.to_mem")
@@ -60,6 +63,37 @@ class Link:
         if self._trace is not None:
             self._trace_tid_to = self._trace.thread(f"{name}.to_mem")
             self._trace_tid_from = self._trace.thread(f"{name}.from_mem")
+
+    def degrade(self, factor: float) -> None:
+        """Scale both directions down to ``nominal_rate / factor``.
+
+        Models a link retraining at a lower width/speed (fault injection).
+        Committed packets keep their service times; only traffic submitted
+        after the change sees the reduced rate — see
+        :meth:`~repro.sim.port.ThroughputServer.set_rate`.
+        """
+        if factor < 1.0:
+            raise ConfigurationError(f"{self.name}: degrade factor must be >= 1")
+        self.degrade_factor = factor
+        rate = self._nominal_rate / factor
+        self.to_memory.set_rate(rate)
+        self.from_memory.set_rate(rate)
+        if self._trace is not None:
+            self._trace.instant("link.degrade", self.engine.now,
+                                tid=self._trace_tid_to, cat="fault",
+                                args={"link": self.name, "factor": factor})
+
+    def restore(self) -> None:
+        """Return both directions to the nominal rate."""
+        if self.degrade_factor == 1.0:
+            return
+        self.degrade_factor = 1.0
+        self.to_memory.set_rate(self._nominal_rate)
+        self.from_memory.set_rate(self._nominal_rate)
+        if self._trace is not None:
+            self._trace.instant("link.restore", self.engine.now,
+                                tid=self._trace_tid_to, cat="fault",
+                                args={"link": self.name})
 
     def send_to_memory(self, wire_bytes: int, deliver: Callable[..., None], *args: Any) -> int:
         self.meter_to_memory.record(wire_bytes)

@@ -56,6 +56,21 @@ class ThroughputServer:
         # read responses, ...); memoize the ceil-divide per distinct size.
         self._service_ps: dict = {}
 
+    def set_rate(self, bytes_per_ps: float) -> None:
+        """Change the service rate in place (modeled link degradation).
+
+        Already-committed packets keep their service completion times
+        (``_next_free_ps`` is untouched); only packets submitted after the
+        change are shaped at the new rate — the same cut-over semantics a
+        retrained physical link exhibits.  The per-size service-time memo
+        is invalidated so both the reference path and the fast path (which
+        reads :meth:`service_time_ps` live per burst) see the new rate.
+        """
+        if bytes_per_ps <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        self.bytes_per_ps = bytes_per_ps
+        self._service_ps = {}
+
     def service_time_ps(self, size_bytes: int) -> int:
         service = self._service_ps.get(size_bytes)
         if service is None:

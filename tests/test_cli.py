@@ -150,3 +150,57 @@ class TestTraceCommand:
         )
         capsys.readouterr()
         assert code == 1
+
+
+class TestChaosCommand:
+    def chaos_envelope(self, capsys, *argv):
+        code, out = run_cli(capsys, "chaos", *argv)
+        assert code == 0
+        envelope = json.loads(out)
+        assert envelope["experiment"] == "chaos"
+        return envelope
+
+    def test_fleet_chaos_json_envelope(self, capsys):
+        envelope = self.chaos_envelope(
+            capsys, "fleet", "--plan", "crash-quick",
+            "--nodes", "2", "--requests", "40", "--json",
+        )
+        results = envelope["results"]
+        # Injected events are paired with their recovery resolution.
+        events = results["injected"]["events"]
+        assert [e["kind"] for e in events] == ["node_crash", "node_recover"]
+        assert events[0]["outcome"] == "crashed"
+        assert 0.0 <= results["availability"] <= 1.0
+        # Every request terminated in a typed outcome.
+        assert sum(results["outcomes"].values()) == 40
+        assert results["summary"]["fault_log"]["digest"] == (
+            results["injected"]["digest"]
+        )
+
+    def test_fleet_chaos_byte_identical_across_runs(self, capsys):
+        argv = ("fleet", "--plan", "crash-quick", "--nodes", "2",
+                "--requests", "40", "--json")
+        code1, out1 = run_cli(capsys, "chaos", *argv)
+        code2, out2 = run_cli(capsys, "chaos", *argv)
+        assert code1 == code2 == 0
+        assert out1 == out2  # the CI chaos-smoke invariant, in-process
+
+    def test_seed_override_changes_auto_targets_only(self, capsys):
+        base = self.chaos_envelope(
+            capsys, "fleet", "--plan", "crash-quick", "--nodes", "2",
+            "--requests", "30", "--json",
+        )
+        seeded = self.chaos_envelope(
+            capsys, "fleet", "--plan", "crash-quick", "--nodes", "2",
+            "--requests", "30", "--seed", "99", "--json",
+        )
+        assert seeded["params"]["seed"] == 99
+        # crash-quick pins its targets, so the outcome is seed-invariant.
+        assert base["results"]["injected"]["events"] == (
+            seeded["results"]["injected"]["events"]
+        )
+
+    def test_unknown_plan_is_usage_error(self, capsys):
+        code = cli.main(["chaos", "fleet", "--plan", "no-such-plan"])
+        capsys.readouterr()
+        assert code == 2

@@ -138,3 +138,238 @@ class TestControlPlaneFaults:
         hv = OptimusHypervisor(platform)
         assert hv.layout.max_slices > 1000
         assert hv.layout.max_slices < 5000
+
+
+# ---------------------------------------------------------------------------
+# ISSUE 4: deterministic chaos — fleet self-healing + device-level defenses.
+# ---------------------------------------------------------------------------
+
+import json
+
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    resolve_plan,
+    run_single_chaos,
+)
+from repro.fleet import (
+    AdmissionConfig,
+    FleetCluster,
+    FleetService,
+    NodeHealth,
+    TenantRequest,
+    TrafficGenerator,
+    TrafficProfile,
+    make_policy,
+)
+
+
+def chaos_serve(plan, *, nodes=3, requests=60, traffic_seed=1,
+                admission=None, policy="best-fit"):
+    cluster = FleetCluster.build(nodes)
+    generator = TrafficGenerator(
+        TrafficProfile(load=0.85), fleet_slots=cluster.total_slots,
+        seed=traffic_seed,
+    )
+    service = FleetService(cluster, make_policy(policy), admission=admission)
+    service.install_faults(plan)
+    return service, service.serve(generator.generate(requests))
+
+
+TERMINAL = ("completed", "replaced_completed", "failed_by_fault")
+
+
+class TestChaosFleet:
+    def test_node_crash_mid_serve_every_request_typed(self):
+        """The acceptance invariant: a node crash loses nothing silently."""
+        plan = resolve_plan("single-node-crash")
+        service, result = chaos_serve(plan)
+        # Every request that entered the loop ended in exactly one typed
+        # outcome — zero hung, zero dropped.
+        assert len(result.outcomes) == 60
+        for outcome in result.outcomes.values():
+            assert outcome in TERMINAL or outcome.startswith("rejected_")
+        events = result.fault_log.summary()["events"]
+        assert events[0]["kind"] == "node_crash"
+        assert events[0]["outcome"] == "crashed"
+        displaced = events[0]["details"]["displaced"]
+        assert displaced > 0, "crash should land mid-serve"
+        assert displaced == (
+            events[0]["details"]["replaced"]
+            + events[0]["details"]["failed_by_fault"]
+        )
+        assert events[1]["kind"] == "node_recover"
+        counts = result.outcome_counts()
+        assert counts.get("replaced_completed", 0) == events[0]["details"]["replaced"]
+        assert 0.0 < result.availability() <= 1.0
+
+    def test_dead_node_excluded_until_recovery(self):
+        # Crash without recovery: node0 must stay DEAD and empty.
+        plan = FaultPlan.of(
+            [FaultEvent(at_ps=ms(1), kind=FaultKind.NODE_CRASH, target="node0")],
+            seed=0, name="crash-only",
+        )
+        service, result = chaos_serve(plan)
+        node0 = service.cluster.node("node0")
+        assert node0.health is NodeHealth.DEAD
+        assert node0.resident == 0
+        assert not node0.can_place("AES")
+        # Every placement after the crash went to surviving nodes.
+        crash_ps = ms(1)
+        for line in result.metrics.trace:
+            time_ps = int(line.split()[0])
+            if time_ps > crash_ps and "-> node0/" in line:
+                raise AssertionError(f"placement on dead node: {line}")
+
+    def test_guest_hang_quarantined_and_never_replaced(self):
+        # A hung guest is benched by the fleet watchdog; the same tenant
+        # never regains a slot inside the plan window.
+        hang = FaultPlan.of(
+            [FaultEvent(at_ps=ms(1), kind=FaultKind.GUEST_HANG, target="evil")],
+            seed=0, name="hang-one",
+        )
+        requests = [
+            TenantRequest(request_id=0, tenant="evil", accel_type="AES",
+                          arrival_ps=us(10), session_ps=ms(50)),
+            TenantRequest(request_id=1, tenant="evil", accel_type="AES",
+                          arrival_ps=ms(30), session_ps=ms(1)),
+            TenantRequest(request_id=2, tenant="good", accel_type="AES",
+                          arrival_ps=ms(31), session_ps=ms(1)),
+        ]
+        cluster = FleetCluster.build(1)
+        service = FleetService(
+            cluster, make_policy("best-fit"),
+            admission=AdmissionConfig(max_retries=2, watchdog_deadline_ps=ms(5)),
+        )
+        service.install_faults(hang)
+        result = service.serve(requests)
+        assert result.outcomes[0] == "failed_by_fault"
+        # The quarantined tenant's re-attempt is refused placement...
+        assert result.outcomes[1] == "rejected_retries_exhausted"
+        # ...while an honest tenant reuses the freed slot immediately.
+        assert result.outcomes[2] == "completed"
+        summary = result.summary()
+        assert summary["faults"]["quarantines"] == 1
+        assert result.fault_log.records[0].outcome == "hang_armed"
+
+    def test_degraded_node_slows_sessions(self):
+        degrade = FaultPlan.of(
+            [FaultEvent(at_ps=us(1), kind=FaultKind.LINK_DEGRADE,
+                        target="node0", params={"factor": 8.0})],
+            seed=0, name="degrade-only",
+        )
+        request = [TenantRequest(request_id=0, tenant="t", accel_type="AES",
+                                 arrival_ps=us(10), session_ps=ms(10))]
+        def span(admission, plan):
+            cluster = FleetCluster.build(1)
+            service = FleetService(cluster, make_policy("best-fit"),
+                                   admission=admission)
+            if plan is not None:
+                service.install_faults(plan)
+            return service.serve(list(request)).span_ps
+        slow = span(AdmissionConfig(degraded_slowdown=3.0), degrade)
+        clean = span(AdmissionConfig(degraded_slowdown=3.0), None)
+        assert slow > clean
+        # Default config keeps degraded nodes timing-neutral (back-compat).
+        assert span(AdmissionConfig(), degrade) == clean
+
+    def test_same_plan_and_seed_byte_identical(self):
+        plan = resolve_plan("mixed")
+        _s1, first = chaos_serve(plan)
+        _s2, second = chaos_serve(plan)
+        assert first.outcomes == second.outcomes
+        assert first.metrics.trace == second.metrics.trace
+        assert first.fault_log.digest() == second.fault_log.digest()
+        assert (json.dumps(first.summary(), sort_keys=True, default=str)
+                == json.dumps(second.summary(), sort_keys=True, default=str))
+        # A different injector seed steers the "auto" targets elsewhere.
+        import dataclasses
+        _s3, other = chaos_serve(dataclasses.replace(plan, seed=plan.seed + 1))
+        assert other.fault_log.digest() != first.fault_log.digest()
+
+
+class TestChaosSinglePlatform:
+    """Device-level defenses under the same declarative plans."""
+
+    @staticmethod
+    def _params(**overrides):
+        from repro.platform import PlatformParams
+        overrides.setdefault("time_slice_ps", us(50))
+        return PlatformParams(**overrides)
+
+    @staticmethod
+    def _run(plan, *, window_ps=us(800), **kwargs):
+        kwargs.setdefault("victim", "LL")
+        kwargs.setdefault("working_set", 1 * MB)
+        kwargs.setdefault("watchdog_deadline_ps", us(100))
+        return run_single_chaos(plan, window_ps=window_ps, **kwargs)
+
+    def test_hang_guest_quarantined_slot_reclaimed(self):
+        # The hang co-tenants with the victim on slot 0: after quarantine
+        # the victim owns the slot again and keeps progressing.
+        plan = FaultPlan.of(
+            [FaultEvent(at_ps=us(50), kind=FaultKind.GUEST_HANG, target="slot0")],
+            seed=0, name="hang-colocated",
+        )
+        report = self._run(plan, params=self._params())
+        assert report["violations"].get("watchdog_quarantined") == 1
+        assert len(report["watchdog"]["quarantined"]) == 1
+        (rogue,) = report["rogues"]
+        assert rogue["quarantined"] is True
+        assert rogue["progress_units"] <= 4  # warm-up only, then the hang
+        quarantine_ps = report["watchdog"]["events"][0]["at_ps"]
+        assert quarantine_ps < us(800)
+        assert report["victim_progress_units"] > 0
+
+    def test_runaway_dma_fenced_not_quarantined(self):
+        plan = FaultPlan.of(
+            [FaultEvent(at_ps=us(50), kind=FaultKind.GUEST_RUNAWAY_DMA,
+                        target="slot1")],
+            seed=0, name="runaway-only",
+        )
+        report = self._run(plan, params=self._params())
+        # The auditor fences the storm; the watchdog correctly sees a
+        # busy (not hung) circuit and leaves it alone.
+        assert report["violations"]["dma_dropped_window"] > 0
+        assert report["violations"].get("watchdog_quarantined", 0) == 0
+        assert report["watchdog"]["quarantined"] == []
+        (rogue,) = report["rogues"]
+        assert rogue["quarantined"] is False
+        assert rogue["progress_units"] > 0
+
+    def test_link_flap_during_dma_burst(self):
+        flap = FaultPlan.of(
+            [
+                FaultEvent(at_ps=us(100), kind=FaultKind.LINK_DEGRADE,
+                           params={"factor": 8.0}),
+                FaultEvent(at_ps=us(300), kind=FaultKind.LINK_RESTORE),
+            ],
+            seed=0, name="flap-tiny",
+        )
+        kwargs = dict(victim="MB", working_set=1 * MB, window_ps=us(500))
+        flapped = self._run(flap, **kwargs)
+        clean = self._run(FaultPlan.of([], seed=0, name="clean"), **kwargs)
+        # The burst victim loses bandwidth while the link is degraded but
+        # recovers after the restore; both runs stay deterministic.
+        assert 0 < flapped["victim_progress_units"] < clean["victim_progress_units"]
+        kinds = [e["kind"] for e in flapped["fault_log"]["events"]]
+        assert kinds == ["link_degrade", "link_restore"]
+
+    def test_fast_and_reference_paths_agree_bytewise(self):
+        plan = FaultPlan.of(
+            [
+                FaultEvent(at_ps=us(50), kind=FaultKind.GUEST_HANG,
+                           target="slot1"),
+                FaultEvent(at_ps=us(120), kind=FaultKind.LINK_DEGRADE,
+                           params={"factor": 4.0}),
+                FaultEvent(at_ps=us(240), kind=FaultKind.LINK_RESTORE),
+            ],
+            seed=5, name="agreement",
+        )
+        fast = self._run(plan, params=self._params(fast_path=True))
+        fast_again = self._run(plan, params=self._params(fast_path=True))
+        reference = self._run(plan, params=self._params(fast_path=False))
+        as_bytes = lambda r: json.dumps(r, sort_keys=True).encode()
+        assert as_bytes(fast) == as_bytes(fast_again)  # replayable
+        assert as_bytes(fast) == as_bytes(reference)   # mode-agnostic

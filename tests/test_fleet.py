@@ -273,3 +273,55 @@ class TestMetrics:
         assert cluster.resident == 0
         with pytest.raises(ConfigurationError):
             cluster.evict("a")
+
+
+class TestEvictContract:
+    """ISSUE 4: eviction is a typed contract the failover path rides."""
+
+    def test_node_evict_returns_typed_placement(self):
+        from repro.fleet import EvictedPlacement
+
+        node = small_node()
+        node.place("a", "AES")
+        placement = node.evict("a")
+        assert isinstance(placement, EvictedPlacement)
+        assert placement.tenant == "a"
+        assert placement.accel_type == "AES"
+        assert placement.node_name == "n0"
+        assert placement.oversubscribed is False
+
+    def test_unknown_tenant_raises_typed_error(self):
+        from repro.errors import UnknownTenantError
+
+        node = small_node()
+        with pytest.raises(UnknownTenantError) as node_err:
+            node.evict("ghost")
+        assert node_err.value.tenant == "ghost"
+        # Back-compat: the typed error still is a ConfigurationError.
+        assert isinstance(node_err.value, ConfigurationError)
+        cluster = FleetCluster([small_node()])
+        with pytest.raises(UnknownTenantError):
+            cluster.evict("ghost")
+
+    def test_cluster_crash_displaces_then_marks_dead(self):
+        from repro.fleet import NodeHealth
+
+        cluster = policy_cluster()
+        displaced = cluster.crash_node("A")
+        assert sorted(p.tenant for p in displaced) == ["m1", "m2"]
+        assert all(p.node_name == "A" for p in displaced)
+        node_a = cluster.node("A")
+        assert node_a.health is NodeHealth.DEAD
+        assert node_a.resident == 0
+        assert not node_a.can_place("MB")
+        # place() never routes to the dead node.
+        placed = cluster.place("x", "MB", make_policy("first-fit"))
+        assert placed is not None and placed[0].name == "B"
+        cluster.recover_node("A")
+        assert cluster.node("A").health is NodeHealth.HEALTHY
+        assert cluster.health_report() == {"A": "healthy", "B": "healthy"}
+
+    def test_unknown_node_lookup_rejected(self):
+        cluster = policy_cluster()
+        with pytest.raises(ConfigurationError):
+            cluster.node("Z")
