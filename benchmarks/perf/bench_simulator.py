@@ -238,6 +238,13 @@ def main() -> None:
     results = {
         "quick": args.quick,
         "cpu_count": os.cpu_count(),
+        "methodology": (
+            "--jobs sweeps dispatch through a persistent fork pool, and only "
+            "when a probed first cell clears the dispatch-cost heuristic "
+            "(repro.parallel.pool.dispatch_plan); small or cheap grids stay "
+            "serial instead of paying pool latency, so fast_jobs_s tracks "
+            "fast_serial_s on hosts where fan-out cannot win (see cpu_count)."
+        ),
         "baseline_before_pr": BASELINE_BEFORE_PR,
         "engine": bench_engine(100_000 if args.quick else 500_000),
         "coalescing": bench_coalescing(args.quick),

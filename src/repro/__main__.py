@@ -29,6 +29,7 @@ import argparse
 import contextlib
 import json
 import math
+import os
 import sys
 import time
 import traceback
@@ -78,11 +79,30 @@ def _to_jsonable(value):
 
 
 def _run_one(key: str, jobs: int = 1, *, entry: str = "main"):
-    """Run one experiment; returns ``(ok, result)`` instead of raising."""
+    """Run one experiment; returns ``(ok, result)`` instead of raising.
+
+    When a result cache is installed (``--cache-dir``), the whole
+    experiment is keyed on (registry key, entry point, simulator mode,
+    source-tree digest) — ``--jobs`` is deliberately *not* part of the
+    key, since fan-out never changes results.
+    """
     import importlib
     import inspect
 
+    from repro.experiments.cache import current_cache
+
     module_name, _description = EXPERIMENTS[key]
+    cache = current_cache()
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key(
+            f"cli.{key}",
+            {"entry": entry, "fast_path": os.environ.get("REPRO_FAST_PATH", "1")},
+        )
+        hit, result = cache.load(cache_key)
+        if hit:
+            print(f"### {key}: {module_name} [cached] " + "#" * 11)
+            return True, result
     started = time.time()
     print(f"### {key}: {module_name} " + "#" * 20)
     try:
@@ -98,6 +118,8 @@ def _run_one(key: str, jobs: int = 1, *, entry: str = "main"):
         print(f"[{key} FAILED after {time.time() - started:.1f}s wall]")
         return False, None
     print(f"[{key} done in {time.time() - started:.1f}s wall]")
+    if cache is not None and cache_key is not None:
+        cache.store(cache_key, result)
     return True, result
 
 
@@ -112,23 +134,42 @@ def _fleet_command(args: argparse.Namespace) -> int:
         make_policy,
     )
 
+    sharded = args.shards > 1
+    cluster = None
     try:
-        cluster = FleetCluster.build(args.nodes, max_oversub=args.max_oversub)
+        if sharded:
+            from repro.parallel import ShardedFleetCluster, ShardedFleetService
+
+            cluster = ShardedFleetCluster.build(
+                args.nodes, shards=args.shards, max_oversub=args.max_oversub
+            )
+            service_cls = ShardedFleetService
+        else:
+            cluster = FleetCluster.build(args.nodes, max_oversub=args.max_oversub)
+            service_cls = FleetService
         generator = TrafficGenerator(
             TrafficProfile(load=args.load),
             fleet_slots=cluster.total_slots,
             seed=args.seed,
         )
-        service = FleetService(
+        service = service_cls(
             cluster,
             make_policy(args.policy),
             admission=AdmissionConfig(queue_limit=args.queue, max_retries=args.retries),
         )
         result = service.serve(generator.generate(args.requests))
+        node_report = cluster.simulated_report()
     except ReproError as error:
         print(f"fleet: error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if sharded and cluster is not None:
+            cluster.close()
     if args.json:
+        results = _to_jsonable(result.summary())
+        results["nodes"] = _to_jsonable(node_report)
+        # ``--shards`` is an execution detail, not a parameter: results are
+        # byte-identical at any shard count, so it stays out of the envelope.
         envelope = {
             "experiment": "fleet",
             "params": {
@@ -141,9 +182,9 @@ def _fleet_command(args: argparse.Namespace) -> int:
                 "retries": args.retries,
                 "max_oversub": args.max_oversub,
             },
-            "results": _to_jsonable(result.summary()),
+            "results": results,
         }
-        print(json.dumps(envelope, indent=2))
+        print(json.dumps(envelope, indent=2, sort_keys=True))
     else:
         print(
             f"fleet: {args.nodes} nodes ({cluster.total_slots} slots), "
@@ -166,6 +207,8 @@ def _chaos_command(args: argparse.Namespace) -> int:
     from repro.faults import resolve_plan, run_single_chaos
     from repro.sim.clock import ms
 
+    cluster = None
+    sharded = args.experiment == "fleet" and args.shards > 1
     try:
         plan = resolve_plan(args.plan)
         if args.seed is not None:
@@ -179,13 +222,20 @@ def _chaos_command(args: argparse.Namespace) -> int:
                 make_policy,
             )
 
-            cluster = FleetCluster.build(args.nodes)
+            if sharded:
+                from repro.parallel import ShardedFleetCluster, ShardedFleetService
+
+                cluster = ShardedFleetCluster.build(args.nodes, shards=args.shards)
+                service_cls = ShardedFleetService
+            else:
+                cluster = FleetCluster.build(args.nodes)
+                service_cls = FleetService
             generator = TrafficGenerator(
                 TrafficProfile(load=args.load),
                 fleet_slots=cluster.total_slots,
                 seed=args.traffic_seed,
             )
-            service = FleetService(cluster, make_policy(args.policy))
+            service = service_cls(cluster, make_policy(args.policy))
             service.install_faults(plan)
             result = service.serve(generator.generate(args.requests))
             results = {
@@ -194,6 +244,7 @@ def _chaos_command(args: argparse.Namespace) -> int:
                 "outcomes": result.outcome_counts(),
                 "availability": result.availability(),
                 "summary": _to_jsonable(result.summary()),
+                "nodes": _to_jsonable(cluster.simulated_report()),
             }
         else:  # single
             report = run_single_chaos(plan, window_ps=ms(args.window_ms))
@@ -205,6 +256,9 @@ def _chaos_command(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"chaos: error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if sharded and cluster is not None:
+            cluster.close()
     if args.json:
         envelope = {
             "experiment": "chaos",
@@ -270,7 +324,7 @@ def _trace_command(args: argparse.Namespace) -> int:
                 "span_categories": categories,
             },
         }
-        print(json.dumps(envelope, indent=2))
+        print(json.dumps(envelope, indent=2, sort_keys=True))
     else:
         print(
             f"trace: wrote {path} ({tracer.event_count} events; "
@@ -315,6 +369,18 @@ def main(argv=None) -> int:
         "--json",
         action="store_true",
         help="print a machine-readable result envelope on stdout",
+    )
+    runner.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
+        help="content-addressed result cache directory "
+        "(default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    runner.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (always recompute)",
     )
 
     tracer_cmd = sub.add_parser(
@@ -365,6 +431,13 @@ def main(argv=None) -> int:
     fleet.add_argument(
         "--trace", action="store_true", help="print the full placement trace"
     )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard fleet nodes across N worker processes (byte-identical results)",
+    )
 
     chaos = sub.add_parser(
         "chaos", help="inject a deterministic fault plan and watch recovery"
@@ -414,6 +487,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="print a machine-readable envelope of events vs outcomes",
     )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard fleet nodes across N worker processes (byte-identical results)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "fleet":
@@ -435,8 +515,6 @@ def main(argv=None) -> int:
         return 0
 
     if args.reference:
-        import os
-
         from repro.platform.params import set_default_fast_path
 
         # The env var also covers worker processes started via "spawn".
@@ -449,6 +527,11 @@ def main(argv=None) -> int:
     if args.command == "trace":
         return _trace_command(args)
 
+    from repro.experiments.cache import install_cache, uninstall_cache
+
+    cache = None
+    if not args.no_cache:
+        cache = install_cache(args.cache_dir)
     profiler = None
     if args.profile:
         import cProfile
@@ -481,7 +564,7 @@ def main(argv=None) -> int:
                         "failed": failed,
                     },
                 }
-                print(json.dumps(envelope, indent=2))
+                print(json.dumps(envelope, indent=2, sort_keys=True))
             if failed:
                 print(
                     f"FAILED experiments: {', '.join(failed)}",
@@ -499,9 +582,12 @@ def main(argv=None) -> int:
                 "params": params,
                 "results": _to_jsonable(result),
             }
-            print(json.dumps(envelope, indent=2))
+            print(json.dumps(envelope, indent=2, sort_keys=True))
         return 0
     finally:
+        if cache is not None:
+            print(cache.render(), file=sys.stderr)
+            uninstall_cache()
         if profiler is not None:
             import pstats
 

@@ -44,26 +44,43 @@ def serve_fleet(
     reference_nodes: Optional[int] = None,
     max_oversub: int = 2,
     queue_limit: int = 16,
+    shards: int = 1,
 ) -> Dict[str, object]:
     """One cell of the sweep: serve the trace, return the fleet summary.
 
     The arrival process is generated against ``reference_nodes`` (default:
     the largest fleet in ``NODE_COUNTS``), so every node count faces the
-    same absolute offered rate and the same request stream.
+    same absolute offered rate and the same request stream.  With
+    ``shards > 1`` the nodes are partitioned across worker processes
+    (:mod:`repro.parallel`); the summary is byte-identical either way.
     """
     reference_nodes = reference_nodes or max(NODE_COUNTS)
-    cluster = FleetCluster.build(n_nodes, max_oversub=max_oversub)
-    generator = TrafficGenerator(
-        TrafficProfile(load=load),
-        fleet_slots=reference_nodes * SLOTS_PER_NODE,
-        seed=seed,
-    )
-    service = FleetService(
-        cluster,
-        make_policy(policy),
-        admission=AdmissionConfig(queue_limit=queue_limit),
-    )
-    result = service.serve(generator.generate(requests))
+    sharded = shards > 1
+    if sharded:
+        from repro.parallel import ShardedFleetCluster, ShardedFleetService
+
+        cluster = ShardedFleetCluster.build(
+            n_nodes, shards=shards, max_oversub=max_oversub
+        )
+        service_cls = ShardedFleetService
+    else:
+        cluster = FleetCluster.build(n_nodes, max_oversub=max_oversub)
+        service_cls = FleetService
+    try:
+        generator = TrafficGenerator(
+            TrafficProfile(load=load),
+            fleet_slots=reference_nodes * SLOTS_PER_NODE,
+            seed=seed,
+        )
+        service = service_cls(
+            cluster,
+            make_policy(policy),
+            admission=AdmissionConfig(queue_limit=queue_limit),
+        )
+        result = service.serve(generator.generate(requests))
+    finally:
+        if sharded:
+            cluster.close()
     summary = result.summary()
     span_s = to_seconds(result.span_ps) or 1.0
     summary["throughput_per_s"] = summary["placements"] / span_s
@@ -72,7 +89,7 @@ def serve_fleet(
 
 def _sweep_cell(cell) -> Dict[str, object]:
     """One grid point, as a picklable top-level worker for ``--jobs``."""
-    n_nodes, load, requests, seed, policy, reference_nodes = cell
+    n_nodes, load, requests, seed, policy, reference_nodes, shards = cell
     return serve_fleet(
         n_nodes,
         load,
@@ -80,6 +97,7 @@ def _sweep_cell(cell) -> Dict[str, object]:
         seed=seed,
         policy=policy,
         reference_nodes=reference_nodes,
+        shards=shards,
     )
 
 
@@ -91,6 +109,7 @@ def run(
     seed: int = 7,
     policy: str = "best-fit",
     jobs: int = 1,
+    shards: int = 1,
 ) -> ResultTable:
     node_counts = list(node_counts or NODE_COUNTS)
     loads = list(loads or LOADS)
@@ -99,7 +118,7 @@ def run(
         ["nodes", "load", "placed", "rejected", "reject_rate", "p95_us", "placed_per_s"],
     )
     cells = [
-        (n_nodes, load, requests, seed, policy, max(node_counts))
+        (n_nodes, load, requests, seed, policy, max(node_counts), shards)
         for load in loads
         for n_nodes in node_counts
     ]

@@ -313,7 +313,7 @@ def make_stack(
 
 
 def parallel_map(fn: Callable, items: Sequence, *, jobs: int = 1) -> List:
-    """Map ``fn`` over ``items``, optionally fanned across processes.
+    """Map ``fn`` over ``items``: cached, cost-aware, optionally parallel.
 
     Experiment sweeps are grids of *independent* cells — each cell builds
     its own engine, platform, and RNGs from explicit seeds — so they can
@@ -322,20 +322,67 @@ def parallel_map(fn: Callable, items: Sequence, *, jobs: int = 1) -> List:
     merge deterministic and seed-stable: ``jobs=N`` produces the exact
     table ``jobs=1`` does.
 
-    ``fn`` must be a module-level callable and every item picklable.  With
-    ``jobs <= 1`` (or a single item) this is a plain in-process loop.
-    """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    import multiprocessing as mp
+    Two layers sit in front of the actual compute:
 
-    try:
-        context = mp.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        context = mp.get_context("spawn")
-    with context.Pool(processes=min(jobs, len(items))) as pool:
-        return pool.map(fn, items)
+    * an installed :class:`~repro.experiments.cache.ExperimentCache`
+      (``--cache-dir``) is consulted per cell — key = the worker's
+      qualified name + the canonicalized item + the source-tree digest —
+      and only the misses are computed (then stored);
+    * with ``jobs > 1`` the first miss is *probed* inline and the rest go
+      to the persistent worker pool only when the measured cell time
+      clears the dispatch-overhead heuristic
+      (:func:`repro.parallel.pool.dispatch_plan`) — small grids stay
+      serial instead of paying pool latency for nothing.
+
+    ``fn`` must be a module-level callable and every item picklable.
+    """
+    from repro.experiments.cache import current_cache
+
+    items = list(items)
+    results: List = [None] * len(items)
+    pending = list(range(len(items)))
+
+    cache = current_cache()
+    keys: Optional[List[str]] = None
+    if cache is not None:
+        tag = f"{fn.__module__}.{getattr(fn, '__qualname__', fn.__name__)}"
+        keys = [cache.key(tag, item) for item in items]
+        misses = []
+        for index in pending:
+            hit, value = cache.load(keys[index])
+            if hit:
+                results[index] = value
+            else:
+                misses.append(index)
+        pending = misses
+
+    if pending:
+        if jobs <= 1 or len(pending) <= 1:
+            for index in pending:
+                results[index] = fn(items[index])
+        else:
+            import time as _time
+
+            from repro.parallel.pool import dispatch_plan, shared_pool
+
+            probe_index, rest = pending[0], pending[1:]
+            started = _time.perf_counter()
+            results[probe_index] = fn(items[probe_index])
+            probe_s = _time.perf_counter() - started
+            if dispatch_plan(probe_s, len(rest), jobs):
+                pool = shared_pool(min(jobs, len(rest)))
+                for index, value in zip(
+                    rest, pool.map(fn, [items[index] for index in rest])
+                ):
+                    results[index] = value
+            else:
+                for index in rest:
+                    results[index] = fn(items[index])
+
+    if cache is not None and keys is not None:
+        for index in pending:
+            cache.store(keys[index], results[index])
+    return results
 
 
 # -- measurement -----------------------------------------------------------------

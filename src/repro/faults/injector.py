@@ -223,12 +223,11 @@ class FleetFaultInjector:
         node_name, physical_index = placement
         dmas = int(event.param("dmas", 64))
         # The auditor fences every out-of-window access: surface the storm
-        # in the same per-socket counters a real ATTACK run produces.
-        monitor = self.service.cluster.node(node_name).provider.platform.monitor
-        if monitor is not None:
-            monitor.auditors[physical_index].counters.bump(
-                "dma_dropped_window", dmas
-            )
+        # in the same per-socket counters a real ATTACK run produces.  The
+        # cluster mediates the bump so sharded execution can forward it.
+        self.service.cluster.bump_auditor(
+            node_name, physical_index, "dma_dropped_window", dmas
+        )
         return tenant, "fenced", {
             "node": node_name, "slot": physical_index, "dmas": dmas,
         }

@@ -192,6 +192,14 @@ class FleetService:
         heapq.heappush(self._heap, (time_ps, self._seq, kind, payload))
         self._seq += 1
 
+    def _advance_epoch(self, now: int) -> None:
+        """Hook called as the serving clock reaches each event time.
+
+        The serial loop needs nothing here; the sharded executor
+        (:class:`repro.parallel.ShardedFleetService`) overrides it to
+        flush completed epochs' operation batches to the shard workers.
+        """
+
     # -- the serving loop -------------------------------------------------------------
 
     def serve(self, requests: Sequence[TenantRequest]) -> ServeResult:
@@ -205,6 +213,7 @@ class FleetService:
         now = 0
         while self._heap:
             now, _seq, kind, payload = heapq.heappop(self._heap)
+            self._advance_epoch(now)
             self.metrics.sample_utilization(now, self.cluster)
             if kind == "arrival":
                 self._on_arrival(payload, now)

@@ -161,6 +161,21 @@ class FleetCluster:
     def health_report(self) -> Dict[str, str]:
         return {node.name: node.health.value for node in self.nodes}
 
+    # -- fault-side plumbing ----------------------------------------------------------
+
+    def bump_auditor(
+        self, name: str, physical_index: int, key: str, count: int
+    ) -> None:
+        """Bump an auditor counter on one node's monitor (fault surface).
+
+        The injector goes through this — rather than reaching into
+        ``node.provider.platform.monitor`` directly — so the sharded
+        executor can forward the same op to the worker owning the node.
+        """
+        monitor = self.node(name).provider.platform.monitor
+        if monitor is not None:
+            monitor.auditors[physical_index].counters.bump(key, count)
+
     # -- reporting --------------------------------------------------------------------
 
     def metrics_registry(self) -> MetricRegistry:
@@ -177,6 +192,21 @@ class FleetCluster:
 
     def occupancy_report(self) -> Dict[str, Dict[int, Dict[str, object]]]:
         return {node.name: node.provider.occupancy_report() for node in self.nodes}
+
+    def simulated_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-node simulated time (``engine.now``), keyed by node name.
+
+        Shape-identical to :meth:`repro.parallel.ShardedFleetCluster
+        .simulated_report`, so serial and sharded envelopes byte-compare.
+        """
+        return {
+            node.name: {"simulated_ps": node.provider.platform.engine.now}
+            for node in self.nodes
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One flat fleet-wide metric snapshot (``node<i>.<metric>``)."""
+        return self.metrics_registry().snapshot()
 
     def utilization_by_type(self) -> Dict[str, float]:
         """Instantaneous fleet occupancy over capacity, per type."""

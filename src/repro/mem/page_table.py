@@ -115,13 +115,27 @@ class PageTable:
         self.version += 1
 
     def unmap_range(self, virt: int, size: int) -> int:
-        """Remove every mapping whose page falls inside the range."""
+        """Remove every mapping whose page falls inside the range.
+
+        The table is sparse, so the scan runs over whichever side is
+        smaller: the page range or the resident entries.  Tearing down a
+        multi-GB IOVA slice that holds a few hundred mappings (every
+        tenant eviction does) is O(entries), not O(range) — the fleet
+        serving loop's hottest path before this bound existed.
+        """
         first = self.vpn(virt)
         last = self.vpn(virt + max(size - 1, 0))
         removed = 0
-        for vpn in range(first, last + 1):
-            if self._entries.pop(vpn, None) is not None:
-                removed += 1
+        entries = self._entries
+        if last - first + 1 > len(entries):
+            doomed = [vpn for vpn in entries if first <= vpn <= last]
+            for vpn in doomed:
+                del entries[vpn]
+            removed = len(doomed)
+        else:
+            for vpn in range(first, last + 1):
+                if entries.pop(vpn, None) is not None:
+                    removed += 1
         if removed:
             self.version += 1
         return removed

@@ -1,0 +1,326 @@
+"""The sharded fleet executor: shadow coordinator + shard workers.
+
+:class:`ShardedFleetCluster` presents the exact
+:class:`~repro.fleet.cluster.FleetCluster` surface the serving loop and
+the fault injector consume, but behind it the real per-node platform
+stacks live in shard worker processes:
+
+* the coordinator answers every control-plane read from its
+  :class:`~repro.parallel.shadow.ShadowCluster` bookkeeping (no IPC on
+  the serving loop's hot path);
+* every mutation is emitted as an op into a per-shard buffer and flushed
+  asynchronously at **epoch boundaries** (whenever the fleet's simulated
+  clock advances), stamped with the epoch it belongs to — the
+  conservative protocol: a worker may safely apply everything at or
+  before the epoch because cross-node interactions (admission, placement,
+  failover) are resolved coordinator-side before the ops are emitted;
+* observation points (:meth:`gather`, :meth:`merge_traces`,
+  :meth:`close`) are the only barriers.
+
+Because all admission/placement/fault *decisions* are taken against the
+shadow — which replicates the provider's slot selection and the node
+health machine exactly, and is verified op-by-op by the workers — serve
+results, metric summaries, traces, and chaos envelopes are byte-identical
+to a serial run by construction.
+
+:class:`ShardedFleetService` is the drop-in serving loop: a
+:class:`~repro.fleet.admission.FleetService` whose epoch hook flushes op
+batches and whose serve() ends with a verification barrier + trace merge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.library import FpgaConfiguration
+from repro.errors import ConfigurationError
+from repro.fleet.admission import FleetService
+from repro.fleet.cluster import DEFAULT_TEMPLATES
+from repro.fleet.node import DEFAULT_MAX_OVERSUB
+from repro.parallel.shadow import ShadowCluster, ShadowNode
+from repro.parallel.shard import shard_worker_main
+from repro.telemetry.tracer import current_tracer
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class _Shard:
+    """Coordinator-side handle of one worker process."""
+
+    __slots__ = ("index", "process", "op_queue", "ack_queue", "buffer")
+
+    def __init__(self, index: int, process, op_queue, ack_queue) -> None:
+        self.index = index
+        self.process = process
+        self.op_queue = op_queue
+        self.ack_queue = ack_queue
+        #: Ops accumulated since the last flush: (node, epoch, op, payload).
+        self.buffer: List[Tuple[int, int, str, tuple]] = []
+
+
+class ShardedFleetCluster(ShadowCluster):
+    """A fleet cluster whose real nodes live in shard worker processes."""
+
+    def __init__(
+        self,
+        specs: Sequence[Tuple[str, Tuple[str, ...]]],
+        *,
+        shards: int,
+        params=None,
+        max_oversub: int = DEFAULT_MAX_OVERSUB,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("need at least one shard")
+        n_nodes = len(specs)
+        self.shards = min(shards, n_nodes)
+        self._closed = False
+        self._epoch_ps = 0
+        self._tracer = current_tracer()
+        # Reserve the pid block the serial build would have consumed (one
+        # engine scope per node, in node order) *before* any other scope
+        # (fleet metrics, fault injector) is created by the caller.
+        if self._tracer is not None:
+            self._first_pid = self._tracer.reserve_pids(n_nodes)
+        else:
+            self._first_pid = 0
+
+        context = _fork_context()
+        self._shards: List[_Shard] = []
+        assignments: List[List[Tuple[int, str, Tuple[str, ...]]]] = [
+            [] for _ in range(self.shards)
+        ]
+        for index, (name, slots) in enumerate(specs):
+            assignments[index % self.shards].append((index, name, tuple(slots)))
+        for shard_index, descs in enumerate(assignments):
+            op_queue = context.SimpleQueue()
+            ack_queue = context.SimpleQueue()
+            process = context.Process(
+                target=shard_worker_main,
+                args=(
+                    shard_index,
+                    descs,
+                    params,
+                    max_oversub,
+                    self._tracer is not None,
+                    self._first_pid,
+                    op_queue,
+                    ack_queue,
+                ),
+                daemon=True,
+                name=f"repro-shard-{shard_index}",
+            )
+            process.start()
+            self._shards.append(_Shard(shard_index, process, op_queue, ack_queue))
+
+        # Workers build their nodes concurrently; collect pid maps.
+        self._owner: Dict[int, _Shard] = {}
+        self._pid_maps: Dict[int, Dict[int, int]] = {}
+        for shard, descs in zip(self._shards, assignments):
+            for index, _name, _slots in descs:
+                self._owner[index] = shard
+        for shard in self._shards:
+            kind, worker_index, pid_by_node, error = shard.ack_queue.get()
+            assert kind == "built"
+            if error is not None:
+                self.close()
+                raise RuntimeError(f"shard {worker_index} failed to build:\n{error}")
+            self._pid_maps[worker_index] = pid_by_node
+
+        nodes = [
+            ShadowNode(
+                index,
+                name,
+                FpgaConfiguration.synthesize(slots),
+                max_oversub=max_oversub,
+                emit=self._emit,
+            )
+            for index, (name, slots) in enumerate(specs)
+        ]
+        super().__init__(nodes)
+
+    @classmethod
+    def build(
+        cls,
+        n_nodes: int,
+        *,
+        shards: int,
+        templates: Optional[Sequence[Sequence[str]]] = None,
+        params=None,
+        max_oversub: int = DEFAULT_MAX_OVERSUB,
+    ) -> "ShardedFleetCluster":
+        """Same fleet :meth:`FleetCluster.build` produces, sharded S ways."""
+        if n_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        templates = [tuple(t) for t in (templates or DEFAULT_TEMPLATES)]
+        specs = [
+            (f"node{i}", templates[i % len(templates)]) for i in range(n_nodes)
+        ]
+        return cls(specs, shards=shards, params=params, max_oversub=max_oversub)
+
+    # -- op stream ----------------------------------------------------------
+
+    def _emit(self, node_index: int, op: Tuple[str, tuple]) -> None:
+        shard = self._owner[node_index]
+        shard.buffer.append((node_index, self._epoch_ps, op[0], op[1]))
+
+    def advance_epoch(self, epoch_ps: int) -> None:
+        """The fleet clock moved: flush every completed epoch's ops."""
+        if epoch_ps != self._epoch_ps:
+            self.flush()
+            self._epoch_ps = epoch_ps
+
+    def flush(self) -> None:
+        """Ship buffered ops to their shards (asynchronous, no barrier)."""
+        for shard in self._shards:
+            if shard.buffer:
+                shard.op_queue.put(("ops", shard.buffer))
+                shard.buffer = []
+
+    def barrier(self, token: str = "sync") -> None:
+        """Flush, then wait until every shard has applied everything.
+
+        Raises with the worker's traceback if any op failed or any
+        placement diverged from the shadow's prediction.
+        """
+        self.flush()
+        errors: List[str] = []
+        for shard in self._shards:
+            shard.op_queue.put(("sync", token))
+        for shard in self._shards:
+            kind, worker_index, got, worker_errors = shard.ack_queue.get()
+            assert kind == "sync" and got == token
+            errors.extend(worker_errors)
+        if errors:
+            raise RuntimeError(
+                "sharded fleet execution diverged:\n" + "\n".join(errors)
+            )
+
+    # -- observation points (barriers) --------------------------------------
+
+    def gather(self) -> Dict[int, Dict[str, object]]:
+        """Per-node reports from the real stacks, in global node order."""
+        self.flush()
+        reports: Dict[int, Dict[str, object]] = {}
+        errors: List[str] = []
+        for shard in self._shards:
+            shard.op_queue.put(("gather", "gather"))
+        for shard in self._shards:
+            kind, _worker, _token, shard_reports, worker_errors = (
+                shard.ack_queue.get()
+            )
+            assert kind == "gather"
+            reports.update(shard_reports)
+            errors.extend(worker_errors)
+        if errors:
+            raise RuntimeError(
+                "sharded fleet execution diverged:\n" + "\n".join(errors)
+            )
+        return {index: reports[index] for index in sorted(reports)}
+
+    def simulated_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-node simulated time, keyed by node name (envelope shape)."""
+        reports = self.gather()
+        return {
+            self.nodes[index].name: {"simulated_ps": report["simulated_ps"]}
+            for index, report in reports.items()
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The fleet-wide metric snapshot ``FleetCluster`` would produce
+        (``node<i>.<metric>`` keys from each node's platform registry)."""
+        reports = self.gather()
+        snapshot: Dict[str, object] = {}
+        for index, report in reports.items():
+            prefix = self.nodes[index].name
+            for key, value in report["metrics"].items():
+                snapshot[f"{prefix}.{key}"] = value
+        return dict(sorted(snapshot.items()))
+
+    def occupancy_report(self) -> Dict[str, Dict[int, Dict[str, object]]]:
+        reports = self.gather()
+        return {
+            self.nodes[index].name: report["occupancy"]
+            for index, report in reports.items()
+        }
+
+    def merge_traces(self) -> None:
+        """Pull every shard's trace events into the coordinator tracer,
+        renumbered into the reserved pid block (serial pid order)."""
+        if self._tracer is None:
+            return
+        self.flush()
+        for shard in self._shards:
+            shard.op_queue.put(("trace", "trace"))
+        for shard in self._shards:
+            kind, worker_index, _token, events, worker_errors = (
+                shard.ack_queue.get()
+            )
+            assert kind == "trace"
+            if worker_errors:
+                raise RuntimeError(
+                    "sharded fleet execution diverged:\n"
+                    + "\n".join(worker_errors)
+                )
+            pid_map = {
+                local_pid: self._first_pid + node_index
+                for node_index, local_pid in self._pid_maps[worker_index].items()
+            }
+            self._tracer.ingest(events, pid_map=pid_map)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker; idempotent.  Pending ops are flushed first."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in getattr(self, "_shards", []):
+            if shard.buffer:
+                shard.op_queue.put(("ops", shard.buffer))
+                shard.buffer = []
+            shard.op_queue.put(("exit",))
+        for shard in getattr(self, "_shards", []):
+            shard.process.join(timeout=10)
+            if shard.process.is_alive():  # pragma: no cover - defensive
+                shard.process.terminate()
+
+    def __enter__(self) -> "ShardedFleetCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ShardedFleetService(FleetService):
+    """The serving loop over a :class:`ShardedFleetCluster`.
+
+    Identical control flow to :class:`FleetService` (it *is* one); the
+    epoch hook forwards the fleet clock to the cluster so completed
+    epochs' ops stream to the shards while the loop keeps running, and
+    serve() ends with one verification barrier + trace merge.
+    """
+
+    def __init__(self, cluster: ShardedFleetCluster, policy, **kwargs) -> None:
+        if not isinstance(cluster, ShardedFleetCluster):
+            raise ConfigurationError(
+                "ShardedFleetService needs a ShardedFleetCluster"
+            )
+        super().__init__(cluster, policy, **kwargs)
+
+    def _advance_epoch(self, now: int) -> None:
+        self.cluster.advance_epoch(now)
+
+    def serve(self, requests) -> "ServeResult":  # noqa: F821 - parent type
+        result = super().serve(requests)
+        # Everything after this is observation: wait for the shards to
+        # finish applying the op stream, verify no divergence, and fold
+        # their trace events back into the coordinator's tracer.
+        self.cluster.barrier("serve-end")
+        self.cluster.merge_traces()
+        return result

@@ -379,6 +379,45 @@ class Engine:
             self.now = until_ps
         return processed
 
+    def run_epoch(self, epoch_ps: int) -> Tuple[int, Optional[int]]:
+        """Drain every event at or before ``epoch_ps``; checkpointable.
+
+        The conservative epoch protocol of :mod:`repro.parallel` advances
+        shards in lockstep windows: each shard may safely simulate every
+        event with ``time <= epoch_ps`` because cross-shard interactions
+        are only injected at epoch boundaries.  Unlike :meth:`run`, the
+        clock is **not** forced forward to ``epoch_ps`` when the queue
+        holds nothing in the window — ``now`` stays at the last processed
+        event, so a later ``run_epoch`` (or a plain :meth:`run`) resumes
+        from exactly this state.  Returns ``(processed, next_event_ps)``
+        where ``next_event_ps`` is the timestamp of the earliest pending
+        event beyond the epoch, or ``None`` when the queue is empty —
+        the coordinator uses it to pick the next global epoch.
+        """
+        if epoch_ps < self.now:
+            raise SimulationError(
+                f"cannot run epoch ending at {epoch_ps} ps; "
+                f"current time is {self.now} ps"
+            )
+        queue = self._queue
+        immediate = self._immediate
+        pop = heapq.heappop
+        processed = 0
+        while queue or immediate:
+            # Immediate-lane entries always carry time <= now <= epoch_ps,
+            # so only the heap's head can cross the epoch boundary.
+            if immediate and (not queue or immediate[0] < queue[0]):
+                event = immediate.popleft()
+            else:
+                if queue[0][0] > epoch_ps:
+                    break
+                event = pop(queue)
+            self.now = event[0]
+            event[2](*event[3])
+            processed += 1
+        next_ps = queue[0][0] if queue else None
+        return processed, next_ps
+
     def run_until(self, future: Future, limit_ps: Optional[int] = None) -> Any:
         """Run until ``future`` completes; return its result.
 

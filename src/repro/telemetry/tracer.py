@@ -151,6 +151,44 @@ class Tracer:
         self._next_pid += 1
         return TraceScope(self, self._next_pid, label)
 
+    def reserve_pids(self, count: int) -> int:
+        """Claim ``count`` consecutive pids without emitting any events.
+
+        The sharded fleet executor reserves one pid block per node *in
+        fleet order* before allocating its own scopes, so scopes created
+        remotely (each shard worker traces into its own local
+        :class:`Tracer`) can be renumbered into exactly the pids a serial
+        run would have produced.  Returns the first reserved pid.
+        """
+        if count < 0:
+            raise ValueError("cannot reserve a negative pid count")
+        first = self._next_pid + 1
+        self._next_pid += count
+        return first
+
+    def ingest(self, events: List[Dict[str, Any]], pid_map: Optional[Dict[int, int]] = None) -> None:
+        """Merge externally captured events (a shard worker's trace).
+
+        ``pid_map`` renumbers worker-local pids into this tracer's
+        reserved pid space; events with unmapped pids are taken verbatim.
+        Ordering does not matter — serialization sorts by a total key, so
+        a merged trace is byte-identical to the equivalent serial capture.
+        """
+        if pid_map:
+            for event in events:
+                mapped = pid_map.get(event.get("pid"))
+                if mapped is not None:
+                    event = dict(event)
+                    event["pid"] = mapped
+                self._events.append(event)
+        else:
+            self._events.extend(events)
+
+    def export_events(self) -> List[Dict[str, Any]]:
+        """Finalize and hand the raw event list over (shard-worker side)."""
+        self.finalize()
+        return list(self._events)
+
     def on_finalize(self, callback: Callable[[], None]) -> None:
         """Register a flush hook (open spans, meter windows) for finalize."""
         self._finalizers.append(callback)

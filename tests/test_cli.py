@@ -85,6 +85,18 @@ class TestFleetCommand:
         assert first == second
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the default result cache at a throwaway directory.
+
+    ``run`` caches whole experiments under ``--cache-dir`` (default
+    ``.repro-cache`` in the cwd); without isolation a second pytest
+    invocation would *hit* entries stored by the first and skip the
+    experiment bodies these tests assert on.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def stub_experiment(monkeypatch):
     """A fast fake experiment returning a ResultTable (with one NaN cell)."""

@@ -1,0 +1,330 @@
+"""Tests for ``repro.parallel``: pool, epoch engine, sharded determinism.
+
+The load-bearing guarantee of the sharded fleet executor is that results
+are **byte-identical** to serial execution — same ``--json`` envelopes,
+same metric summaries, same trace files — at any shard count.  These
+tests byte-compare real CLI output and real merged traces across shard
+counts and seeds, plus unit-test the pieces (worker pool, dispatch
+heuristic, epoch engine entry point, shadow verification plumbing).
+"""
+
+import json
+
+import pytest
+
+from repro import __main__ as cli
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+# -- the persistent worker pool ------------------------------------------------
+
+
+def _square(value):
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise ValueError("three is right out")
+    return value
+
+
+class TestWorkerPool:
+    def test_map_returns_results_in_item_order(self):
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+    def test_pool_survives_across_map_calls(self):
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(2) as pool:
+            first = pool.map(_square, list(range(6)))
+            second = pool.map(_square, list(range(6)))
+            assert first == second == [v * v for v in range(6)]
+
+    def test_worker_failure_reraises_with_traceback(self):
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="three is right out"):
+                pool.map(_fail_on_three, [1, 2, 3, 4])
+
+    def test_shared_pool_reuses_and_grows(self):
+        from repro.parallel import shared_pool, shutdown_shared_pool
+
+        try:
+            small = shared_pool(1)
+            again = shared_pool(1)
+            assert again is small
+            grown = shared_pool(2)
+            assert grown is not small
+            assert grown.processes == 2
+            # Asking for fewer workers never shrinks the pool.
+            assert shared_pool(1) is grown
+        finally:
+            shutdown_shared_pool()
+
+
+class TestDispatchPlan:
+    def test_serial_when_jobs_is_one(self):
+        from repro.parallel import dispatch_plan
+
+        assert dispatch_plan(10.0, 100, jobs=1) is False
+
+    def test_serial_when_cells_are_cheaper_than_dispatch(self):
+        from repro.parallel import DISPATCH_OVERHEAD_S, dispatch_plan
+
+        assert dispatch_plan(DISPATCH_OVERHEAD_S / 10, 100, jobs=4) is False
+
+    def test_parallel_when_the_budget_clears(self):
+        from repro.parallel import MIN_PARALLEL_BUDGET_S, dispatch_plan
+
+        probe = MIN_PARALLEL_BUDGET_S  # one cell alone clears the budget
+        assert dispatch_plan(probe, 4, jobs=4) is True
+
+    def test_serial_when_total_work_is_too_small(self):
+        from repro.parallel import DISPATCH_OVERHEAD_S, dispatch_plan
+
+        # Cells clear the per-cell bar but there is only one of them.
+        assert dispatch_plan(DISPATCH_OVERHEAD_S * 1.5, 1, jobs=8) is False
+
+    def test_force_override(self, monkeypatch):
+        from repro.parallel import dispatch_plan
+
+        monkeypatch.setenv("REPRO_FORCE_JOBS", "1")
+        assert dispatch_plan(0.0, 1, jobs=2) is True
+
+
+# -- the checkpointable epoch entry point --------------------------------------
+
+
+class TestRunEpoch:
+    def test_drains_only_events_inside_the_epoch(self):
+        engine = Engine()
+        fired = []
+        for t in (100, 200, 300, 400):
+            engine.call_at(t, fired.append, t)
+        processed, next_ps = engine.run_epoch(250)
+        assert fired == [100, 200]
+        assert processed == 2
+        assert next_ps == 300
+        assert engine.now == 200  # not forced forward to the epoch edge
+
+    def test_resumes_exactly_where_it_stopped(self):
+        engine = Engine()
+        fired = []
+        for t in (100, 300):
+            engine.call_at(t, fired.append, t)
+        engine.run_epoch(150)
+        processed, next_ps = engine.run_epoch(1000)
+        assert fired == [100, 300]
+        assert processed == 1
+        assert next_ps is None
+
+    def test_empty_epoch_leaves_clock_alone(self):
+        engine = Engine()
+        engine.call_at(500, lambda: None)
+        processed, next_ps = engine.run_epoch(400)
+        assert processed == 0 and next_ps == 500 and engine.now == 0
+
+    def test_epoch_behind_the_clock_raises(self):
+        engine = Engine()
+        engine.call_at(100, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run_epoch(50)
+
+    def test_events_scheduled_during_epoch_run_inside_it(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(100, lambda: engine.call_at(150, fired.append, "nested"))
+        engine.run_epoch(200)
+        assert fired == ["nested"]
+
+
+# -- trace merge plumbing ------------------------------------------------------
+
+
+class TestTracerMerge:
+    def test_reserve_pids_claims_a_block(self):
+        from repro.telemetry.tracer import Tracer
+
+        tracer = Tracer()
+        first = tracer.reserve_pids(3)
+        assert first == 1
+        scope = tracer.scope("after")
+        assert scope.pid == 4
+
+    def test_ingest_remaps_pids(self):
+        from repro.telemetry.tracer import Tracer
+
+        coordinator = Tracer()
+        coordinator.reserve_pids(2)
+        worker = Tracer()
+        worker.scope("sim").instant("evt", 10)
+        coordinator.ingest(worker.export_events(), pid_map={1: 2})
+        pids = {event["pid"] for event in coordinator.to_chrome()["traceEvents"]}
+        assert pids == {2}
+
+    def test_merged_trace_serializes_identically_to_direct_emission(self):
+        from repro.telemetry.tracer import Tracer
+
+        direct = Tracer()
+        direct.scope("a").instant("x", 5)
+        direct.scope("b").instant("y", 7)
+
+        merged = Tracer()
+        merged.reserve_pids(2)
+        worker_a, worker_b = Tracer(), Tracer()
+        worker_a.scope("a").instant("x", 5)
+        worker_b.scope("b").instant("y", 7)
+        merged.ingest(worker_a.export_events(), pid_map={1: 1})
+        merged.ingest(worker_b.export_events(), pid_map={1: 2})
+        assert merged.to_json() == direct.to_json()
+
+
+# -- byte-identical sharded execution ------------------------------------------
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    return code, capsys.readouterr().out
+
+
+FLEET_ARGS = ("fleet", "--nodes", "4", "--requests", "48", "--json")
+CHAOS_ARGS = (
+    "chaos", "fleet", "--plan", "single-node-crash",
+    "--requests", "40", "--json",
+)
+
+
+class TestShardedByteIdentity:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_fleet_envelope_identical_across_shard_counts(self, capsys, seed):
+        code, serial = run_cli(capsys, *FLEET_ARGS, "--seed", str(seed))
+        assert code == 0
+        for shards in (2, 3):
+            code, sharded = run_cli(
+                capsys, *FLEET_ARGS, "--seed", str(seed), "--shards", str(shards)
+            )
+            assert code == 0
+            assert sharded == serial  # byte-identical, not just equivalent
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_chaos_envelope_identical_across_shard_counts(self, capsys, seed):
+        code, serial = run_cli(capsys, *CHAOS_ARGS, "--seed", str(seed))
+        assert code == 0
+        for shards in (2, 3):
+            code, sharded = run_cli(
+                capsys, *CHAOS_ARGS, "--seed", str(seed), "--shards", str(shards)
+            )
+            assert code == 0
+            assert sharded == serial
+
+    def test_fleet_envelope_reports_per_node_simulated_time(self, capsys):
+        code, out = run_cli(capsys, *FLEET_ARGS, "--seed", "1")
+        assert code == 0
+        nodes = json.loads(out)["results"]["nodes"]
+        assert set(nodes) == {f"node{i}" for i in range(4)}
+        assert all("simulated_ps" in report for report in nodes.values())
+
+
+def _serve_traced(shards, *, seed, with_faults):
+    from repro.faults import resolve_plan
+    from repro.fleet import (
+        FleetCluster,
+        FleetService,
+        TrafficGenerator,
+        TrafficProfile,
+        make_policy,
+    )
+    from repro.telemetry.tracer import install_tracer, uninstall_tracer
+
+    tracer = install_tracer()
+    try:
+        if shards > 1:
+            from repro.parallel import ShardedFleetCluster, ShardedFleetService
+
+            cluster = ShardedFleetCluster.build(3, shards=shards)
+            service_cls = ShardedFleetService
+        else:
+            cluster = FleetCluster.build(3)
+            service_cls = FleetService
+        try:
+            generator = TrafficGenerator(
+                TrafficProfile(load=0.85),
+                fleet_slots=cluster.total_slots,
+                seed=seed,
+            )
+            service = service_cls(cluster, make_policy("best-fit"))
+            if with_faults:
+                service.install_faults(resolve_plan("single-node-crash"))
+            result = service.serve(generator.generate(36))
+            summary = result.summary()
+            snapshot = cluster.metrics_snapshot()
+        finally:
+            if shards > 1:
+                cluster.close()
+        tracer.finalize()
+        return tracer.to_json(), summary, snapshot
+    finally:
+        uninstall_tracer()
+
+
+class TestShardedTraces:
+    @pytest.mark.parametrize("seed", [1, 2])
+    @pytest.mark.parametrize("with_faults", [False, True])
+    def test_trace_files_identical_across_shard_counts(self, seed, with_faults):
+        serial_trace, serial_summary, serial_snapshot = _serve_traced(
+            1, seed=seed, with_faults=with_faults
+        )
+        for shards in (2, 3):
+            trace, summary, snapshot = _serve_traced(
+                shards, seed=seed, with_faults=with_faults
+            )
+            assert trace == serial_trace
+            assert summary == serial_summary
+            assert snapshot == serial_snapshot
+
+
+class TestShardedClusterSurface:
+    def test_shards_clamp_to_node_count(self):
+        from repro.parallel import ShardedFleetCluster
+
+        with ShardedFleetCluster.build(2, shards=8) as cluster:
+            assert cluster.shards == 2
+            assert len(cluster.nodes) == 2
+
+    def test_close_is_idempotent(self):
+        from repro.parallel import ShardedFleetCluster
+
+        cluster = ShardedFleetCluster.build(1, shards=1)
+        cluster.close()
+        cluster.close()
+
+    def test_divergence_is_detected_at_the_barrier(self):
+        from repro.parallel import ShardedFleetCluster
+
+        cluster = ShardedFleetCluster.build(1, shards=1)
+        try:
+            node = cluster.nodes[0]
+            accel = node.configuration.slots[0]
+            candidates = node.configuration.slots_of_type(accel)
+            assert len(candidates) > 1  # default template has two AES slots
+            # Corrupt the shadow bookkeeping so it predicts a different
+            # slot than the real provider will pick: mark the lowest-index
+            # candidate occupied, skewing the least-occupied selection.
+            node.slot_occupancy[min(candidates)] += 1
+            cluster.place("tenant0", accel, _FirstSlotPolicy())
+            with pytest.raises(RuntimeError, match="diverged"):
+                cluster.barrier()
+        finally:
+            cluster.close()
+
+
+class _FirstSlotPolicy:
+    def choose(self, nodes, accel_type):
+        return nodes[0]
