@@ -14,6 +14,8 @@ Usage::
     python -m repro fleet --nodes 4 --load 0.9 --seed 1   # fleet serving
     python -m repro chaos fleet --plan single-node-crash  # fault injection
     python -m repro chaos single --plan rogue-guest --json
+    python -m repro serve --sessions 2000 --load 2.0      # serving gateway
+    python -m repro serve --trace sessions.json --shards 2 --json
 
 ``run`` exits non-zero if any experiment raises (and keeps going through
 the rest of ``all``, reporting every failure at the end).
@@ -61,6 +63,10 @@ EXPERIMENTS = {
     "chaos_recovery": (
         "repro.experiments.chaos_recovery",
         "availability + placement tails vs injected node-crash rate",
+    ),
+    "serve_slo": (
+        "repro.experiments.serve_slo",
+        "in-budget p99 attainment: SLO shedding vs queue-depth admission",
     ),
 }
 
@@ -196,6 +202,128 @@ def _fleet_command(args: argparse.Namespace) -> int:
         print("\nplacement trace:")
         for line in result.metrics.trace:
             print(f"  {line}")
+    return 0
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """Replay (or synthesize) a session trace through the serving gateway."""
+    from repro.errors import ReproError
+    from repro.fleet import AdmissionConfig, FleetCluster, make_policy
+    from repro.serve import (
+        ArrivalTrace,
+        Gateway,
+        GatewayFleetService,
+        GatewayShardedFleetService,
+        ServeProfile,
+        SloBudgetPolicy,
+        synthesize,
+    )
+
+    sessions = args.sessions if args.sessions is not None else (
+        800 if args.quick else 2000
+    )
+    nodes = args.nodes if args.nodes is not None else (2 if args.quick else 3)
+    sharded = args.shards > 1
+    cluster = None
+    try:
+        if sharded:
+            from repro.parallel import ShardedFleetCluster
+
+            cluster = ShardedFleetCluster.build(nodes, shards=args.shards)
+            service_cls = GatewayShardedFleetService
+        else:
+            cluster = FleetCluster.build(nodes)
+            service_cls = GatewayFleetService
+        if args.trace_file:
+            trace = ArrivalTrace.load(args.trace_file)
+        else:
+            trace = synthesize(
+                ServeProfile(
+                    load=args.load,
+                    followup_prob=args.followup,
+                    diurnal_amplitude=args.diurnal,
+                    burst_prob=args.burst,
+                ),
+                sessions=sessions,
+                fleet_slots=cluster.total_slots,
+                seed=args.seed,
+            )
+        if args.save_trace:
+            path = trace.write_json(args.save_trace)
+            print(f"serve: wrote trace {path}", file=sys.stderr)
+        admission_policy = (
+            SloBudgetPolicy() if args.admission == "slo-budget" else None
+        )
+        service = service_cls(
+            cluster,
+            make_policy(args.policy),
+            admission=AdmissionConfig(
+                queue_limit=args.queue, max_retries=args.retries
+            ),
+            admission_policy=admission_policy,
+        )
+        gateway = Gateway(service, trace)
+        result = gateway.run()
+    except ReproError as error:
+        print(f"serve: error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if sharded and cluster is not None:
+            cluster.close()
+    results = _to_jsonable(result.to_dict())
+    if args.json:
+        # ``--shards`` is an execution detail: envelopes are byte-identical
+        # at any shard count, so it stays out of the params block.  The
+        # trace is identified by digest, not file path: synthesizing a
+        # trace and replaying its saved copy are the same experiment.
+        envelope = {
+            "experiment": "serve",
+            "params": {
+                "trace": trace.digest(),
+                "sessions": sessions,
+                "seed": args.seed,
+                "load": args.load,
+                "followup": args.followup,
+                "diurnal": args.diurnal,
+                "burst": args.burst,
+                "nodes": nodes,
+                "policy": args.policy,
+                "admission": args.admission,
+                "queue": args.queue,
+                "retries": args.retries,
+                "quick": args.quick,
+            },
+            "results": results,
+        }
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+        return 0
+    trace_info = results["trace"]
+    print(
+        f"serve: {trace_info['sessions']} sessions in {trace_info['chains']} "
+        f"chains (trace {trace_info['name']}, digest {trace_info['digest']}), "
+        f"{nodes} nodes, admission {args.admission}"
+    )
+    session_info = results["sessions"]
+    print(f"outcomes: {session_info['outcomes']}")
+    print(
+        f"availability: {session_info['availability']:.4f}  "
+        f"abandoned: {session_info['abandoned']}"
+    )
+    for name, stats in results["classes"].items():
+        p99 = stats.get("admit_p99_ps")
+        tail = f"  admit p99 {p99 / 1e9:.2f} ms" if p99 else ""
+        print(
+            f"  {name:<8} admitted {stats.get('admitted', 0):>6}  "
+            f"shed {stats.get('shed', 0):>5}  "
+            f"failed {stats.get('failed', 0):>4}{tail}"
+        )
+    if results["slo"] is not None:
+        for name, stats in results["slo"]["classes"].items():
+            print(
+                f"  slo[{name}]: attainment {stats['attainment']:.4f} "
+                f"(budget {stats['budget_ps'] / 1e9:.2f} ms, "
+                f"estimate {stats['estimate_ps'] / 1e9:.2f} ms)"
+            )
     return 0
 
 
@@ -439,6 +567,84 @@ def main(argv=None) -> int:
         help="shard fleet nodes across N worker processes (byte-identical results)",
     )
 
+    serve = sub.add_parser(
+        "serve", help="replay a session trace through the SLO-aware gateway"
+    )
+    serve.add_argument(
+        "--trace",
+        dest="trace_file",
+        metavar="FILE",
+        default=None,
+        help="replay a .json/.csv arrival trace instead of synthesizing one",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="synthetic trace size (default: 2000, or 800 with --quick)",
+    )
+    serve.add_argument("--seed", type=int, default=1, help="synthetic trace seed")
+    serve.add_argument("--load", type=float, default=1.5, help="offered load")
+    serve.add_argument(
+        "--followup",
+        type=float,
+        default=0.3,
+        metavar="P",
+        help="closed-loop probability a tenant returns after a session",
+    )
+    serve.add_argument(
+        "--diurnal",
+        type=float,
+        default=0.0,
+        metavar="A",
+        help="diurnal rate-modulation amplitude in [0, 1)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-arrival probability of starting a burst episode",
+    )
+    serve.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="fleet size (default: 3, or 2 with --quick)",
+    )
+    serve.add_argument(
+        "--policy",
+        default="best-fit",
+        choices=["first-fit", "best-fit", "affinity"],
+        help="placement policy",
+    )
+    serve.add_argument(
+        "--admission",
+        default="slo-budget",
+        choices=["queue-depth", "slo-budget"],
+        help="admission policy (queue-depth = legacy bounded queue only)",
+    )
+    serve.add_argument("--queue", type=int, default=32, help="admission queue limit")
+    serve.add_argument("--retries", type=int, default=3, help="max placement retries")
+    serve.add_argument(
+        "--quick", action="store_true", help="small fleet + short trace preset"
+    )
+    serve.add_argument(
+        "--save-trace",
+        metavar="FILE",
+        default=None,
+        help="write the (synthesized) trace as JSON for later replay",
+    )
+    serve.add_argument("--json", action="store_true", help="emit envelope as JSON")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard fleet nodes across N worker processes (byte-identical results)",
+    )
+
     chaos = sub.add_parser(
         "chaos", help="inject a deterministic fault plan and watch recovery"
     )
@@ -498,6 +704,9 @@ def main(argv=None) -> int:
 
     if args.command == "fleet":
         return _fleet_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     if args.command == "list" or args.command is None:
         as_json = bool(getattr(args, "json", False))

@@ -31,7 +31,15 @@ operation, so the per-node packet simulators stay idle while the fleet
 loop advances through arrivals, departures, and retries.
 """
 
-from repro.fleet.admission import AdmissionConfig, FleetService, ServeResult
+from repro.fleet.admission import (
+    ADMIT,
+    AdmissionConfig,
+    AdmissionDecision,
+    AdmissionPolicy,
+    FleetService,
+    ServeResult,
+    request_jitter_rng,
+)
 from repro.fleet.cluster import DEFAULT_TEMPLATES, FleetCluster
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.node import EvictedPlacement, FleetNode, NodeHealth, NodeSpec
@@ -46,7 +54,10 @@ from repro.fleet.placement import (
 from repro.fleet.traffic import TenantRequest, TrafficGenerator, TrafficProfile
 
 __all__ = [
+    "ADMIT",
     "AdmissionConfig",
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "BestFit",
     "ConfigAffinity",
     "DEFAULT_TEMPLATES",
@@ -65,4 +76,5 @@ __all__ = [
     "TrafficGenerator",
     "TrafficProfile",
     "make_policy",
+    "request_jitter_rng",
 ]

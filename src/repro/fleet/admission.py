@@ -38,9 +38,12 @@ deterministic for a given (plan, seed, traffic seed) triple.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fleet.cluster import FleetCluster
@@ -77,6 +80,15 @@ class AdmissionConfig:
     #: Sessions placed on a DEGRADED node run this much longer (1.0 = the
     #: default, keeps fault-free traces byte-identical to older versions).
     degraded_slowdown: float = 1.0
+    #: Retry backoff jitter: each retry delay is scaled by a factor drawn
+    #: uniformly from ``[1 - retry_jitter, 1 + retry_jitter]``.  ``0.0``
+    #: (the default) draws nothing at all, keeping legacy traces
+    #: byte-identical.  Draws come from a *per-request* RNG stream keyed
+    #: on ``(jitter_seed, request_id)`` — never from a shared generator —
+    #: so layering the serving gateway (or any other consumer of
+    #: randomness) on top cannot perturb another request's delays.
+    retry_jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.queue_limit < 0 or self.max_retries < 0:
@@ -87,10 +99,88 @@ class AdmissionConfig:
             raise ConfigurationError("watchdog deadline must be positive")
         if self.degraded_slowdown < 1.0:
             raise ConfigurationError("degraded slowdown must be >= 1")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ConfigurationError("retry jitter must be in [0, 1)")
 
     def backoff_for(self, attempt: int) -> int:
-        """Delay before retry ``attempt`` (1-based)."""
+        """Delay before retry ``attempt`` (1-based), before jitter."""
         return int(self.backoff_ps * self.backoff_factor ** (attempt - 1))
+
+
+#: Mixing constant for per-request jitter streams (golden-ratio hash).
+_JITTER_MIX = 0x9E3779B1
+
+
+def request_jitter_rng(jitter_seed: int, request_id: int) -> np.random.RandomState:
+    """The seeded RNG stream owned by one request's retry jitter.
+
+    Each request gets an independent ``RandomState`` keyed on
+    ``(jitter_seed, request_id)``, so the sequence of factors a request
+    sees depends only on its own identity — adding or removing *other*
+    stochastic consumers (the serve gateway, chaos injection, more
+    requests) can never shift it.
+    """
+    return np.random.RandomState((jitter_seed * _JITTER_MIX + request_id) & 0xFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """A typed admission verdict for one arriving request.
+
+    ``action`` is one of ``"admit"`` (place or queue as usual),
+    ``"degrade"`` (admit, but scale the session by ``session_scale`` —
+    the tenant gets a trimmed slice of service), or ``"shed"`` (reject
+    immediately with ``reason``, before the request touches the queue).
+    """
+
+    action: str
+    reason: str = ""
+    session_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("admit", "degrade", "shed"):
+            raise ConfigurationError(f"unknown admission action {self.action!r}")
+        if not 0.0 < self.session_scale <= 1.0:
+            raise ConfigurationError("session scale must be in (0, 1]")
+
+
+#: The default verdict — shared so the hot path allocates nothing.
+ADMIT = AdmissionDecision("admit")
+
+
+class AdmissionPolicy:
+    """Pluggable admission decision, consulted before queueing.
+
+    The base class is the **queue-depth-only** policy the fleet has
+    always run: every request is admitted, and the bounded queue plus
+    the retry budget are the only backpressure.  Subclasses (e.g.
+    :class:`repro.serve.slo.SloBudgetPolicy`) shed or degrade based on
+    observed latency instead.  :meth:`observe` is called once per fresh
+    placement with the request's admission latency, in simulated-time
+    order, so online estimators stay deterministic.
+    """
+
+    name = "queue-depth"
+
+    def decide(
+        self, request: TenantRequest, now: int, service: "FleetService"
+    ) -> AdmissionDecision:
+        return ADMIT
+
+    def observe(self, request: TenantRequest, latency_ps: int, now: int) -> None:
+        """A fresh placement completed admission with ``latency_ps``."""
+
+    def observe_queued(
+        self, request: TenantRequest, pessimistic_ps: int, now: int
+    ) -> None:
+        """``request`` just queued (or re-queued after a failed retry).
+
+        ``pessimistic_ps`` is a *lower bound* on the admission latency it
+        will eventually pay: elapsed wait so far, plus the backoff just
+        scheduled, plus the placement cost.  Latency-feedback policies
+        should fold this in immediately — waiting for the placement to
+        observe the real number means reacting one full queue-wait late.
+        """
 
 
 @dataclass
@@ -162,11 +252,15 @@ class FleetService:
         *,
         admission: Optional[AdmissionConfig] = None,
         metrics: Optional[FleetMetrics] = None,
+        admission_policy: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
         self.admission = admission or AdmissionConfig()
         self.metrics = metrics or FleetMetrics()
+        #: ``None`` keeps the historical queue-depth-only behavior with
+        #: zero per-arrival overhead; anything else is consulted first.
+        self.admission_policy = admission_policy
         self._heap: List[Tuple[int, int, str, object]] = []
         self._seq = 0
         self._pending: Dict[int, _Pending] = {}  # insertion order == FIFO
@@ -175,6 +269,9 @@ class FleetService:
         self._quarantined: set = set()
         self.outcomes: Dict[int, str] = {}
         self._injector = None
+        self._retry_rngs: Dict[int, np.random.RandomState] = {}
+        self._arrivals = 0
+        self._now = 0
 
     # -- fault installation -----------------------------------------------------------
 
@@ -191,13 +288,17 @@ class FleetService:
     def _push(self, time_ps: int, kind: str, payload: object) -> None:
         heapq.heappush(self._heap, (time_ps, self._seq, kind, payload))
         self._seq += 1
+        if kind == "arrival":
+            self._arrivals += 1
 
     def _advance_epoch(self, now: int) -> None:
         """Hook called as the serving clock reaches each event time.
 
         The serial loop needs nothing here; the sharded executor
         (:class:`repro.parallel.ShardedFleetService`) overrides it to
-        flush completed epochs' operation batches to the shard workers.
+        flush completed epochs' operation batches to the shard workers,
+        and the serving gateway (:mod:`repro.serve.gateway`) uses it as
+        the pacing point that pumps session coroutines.
         """
 
     # -- the serving loop -------------------------------------------------------------
@@ -210,9 +311,25 @@ class FleetService:
             self._injector.schedule()
         for request in requests:
             self._push(request.arrival_ps, "arrival", request)
-        now = 0
+        self._run_loop()
+        # Closed-loop consumers (the serve gateway) may inject follow-up
+        # arrivals while draining terminal notifications; keep looping
+        # until nothing new enters the heap.
+        while self._post_drain():
+            self._run_loop()
+        return ServeResult(
+            metrics=self.metrics,
+            requests=self._arrivals,
+            span_ps=self._now,
+            outcomes=dict(self.outcomes),
+            fault_log=self._injector.log if self._injector is not None else None,
+        )
+
+    def _run_loop(self) -> None:
+        """Drain the event heap; the clock is ``self._now`` throughout."""
         while self._heap:
             now, _seq, kind, payload = heapq.heappop(self._heap)
+            self._now = now
             self._advance_epoch(now)
             self.metrics.sample_utilization(now, self.cluster)
             if kind == "arrival":
@@ -225,13 +342,15 @@ class FleetService:
                 self._injector.apply(payload, now)
             else:  # watchdog
                 self._on_watchdog(payload, now)
-        return ServeResult(
-            metrics=self.metrics,
-            requests=len(requests),
-            span_ps=now,
-            outcomes=dict(self.outcomes),
-            fault_log=self._injector.log if self._injector is not None else None,
-        )
+
+    def _post_drain(self) -> bool:
+        """Hook after the heap empties; return ``True`` to keep serving.
+
+        The base loop has nothing left to do.  The gateway overrides this
+        to deliver final session notifications (which may schedule
+        closed-loop follow-up arrivals) and reports whether they did.
+        """
+        return False
 
     # -- event handlers ---------------------------------------------------------------
 
@@ -239,6 +358,22 @@ class FleetService:
         if self.cluster.capacity(request.accel_type) == 0:
             self._reject(request, now, "unsupported")
             return
+        if self.admission_policy is not None:
+            decision = self.admission_policy.decide(request, now, self)
+            self._on_decision(request, decision, now)
+            if decision.action == "shed":
+                self._reject(request, now, decision.reason or "shed")
+                return
+            if decision.action == "degrade":
+                request = dataclasses.replace(
+                    request,
+                    session_ps=max(
+                        1, int(request.session_ps * decision.session_scale)
+                    ),
+                )
+                self.metrics.record_degrade(
+                    now_ps=now, request=request, scale=decision.session_scale
+                )
         if self._try_place(request, now):
             return
         if len(self._pending) >= self.admission.queue_limit:
@@ -248,7 +383,16 @@ class FleetService:
         self.metrics.record_queued(
             now_ps=now, request=request, depth=len(self._pending)
         )
-        self._push(now + self.admission.backoff_for(1), "retry", request.request_id)
+        delay = self._retry_delay(request, 1)
+        if self.admission_policy is not None:
+            self.admission_policy.observe_queued(
+                request,
+                (now - request.arrival_ps)
+                + delay
+                + self.admission.placement_cost_ps,
+                now,
+            )
+        self._push(now + delay, "retry", request.request_id)
 
     def _on_retry(self, request_id: int, now: int) -> None:
         entry = self._pending.get(request_id)
@@ -265,9 +409,33 @@ class FleetService:
             del self._pending[request_id]
             self._reject(entry.request, now, "retries_exhausted")
             return
-        self._push(
-            now + self.admission.backoff_for(entry.attempts + 1), "retry", request_id
-        )
+        delay = self._retry_delay(entry.request, entry.attempts + 1)
+        if self.admission_policy is not None:
+            self.admission_policy.observe_queued(
+                entry.request,
+                (now - entry.request.arrival_ps)
+                + delay
+                + self.admission.placement_cost_ps,
+                now,
+            )
+        self._push(now + delay, "retry", request_id)
+
+    def _retry_delay(self, request: TenantRequest, attempt: int) -> int:
+        """Backoff before retry ``attempt``, jittered from the request's
+        own seeded stream (``retry_jitter == 0`` draws nothing at all)."""
+        delay = self.admission.backoff_for(attempt)
+        jitter = self.admission.retry_jitter
+        if jitter:
+            rng = self._retry_rngs.get(request.request_id)
+            if rng is None:
+                rng = request_jitter_rng(
+                    self.admission.jitter_seed, request.request_id
+                )
+                self._retry_rngs[request.request_id] = rng
+            delay = max(
+                1, int(delay * (1.0 + jitter * (2.0 * rng.random_sample() - 1.0)))
+            )
+        return delay
 
     def _on_departure(self, payload, now: int) -> None:
         tenant_name, epoch = payload
@@ -277,8 +445,10 @@ class FleetService:
         del self._sessions[tenant_name]
         self.cluster.evict(tenant_name)
         self.metrics.record_departure(now_ps=now, tenant=tenant_name)
-        self.outcomes[session.request.request_id] = (
-            "replaced_completed" if session.replaced else "completed"
+        self._finish(
+            session.request,
+            "replaced_completed" if session.replaced else "completed",
+            now,
         )
         self._drain(now)
 
@@ -291,7 +461,7 @@ class FleetService:
         del self._sessions[tenant_name]
         self.cluster.evict(tenant_name)
         self._quarantined.add(tenant_name)
-        self.outcomes[session.request.request_id] = "failed_by_fault"
+        self._finish(session.request, "failed_by_fault", now)
         self.metrics.record_quarantine(now_ps=now, tenant=tenant_name)
         self._drain(now)
 
@@ -305,7 +475,28 @@ class FleetService:
 
     def _reject(self, request: TenantRequest, now: int, reason: str) -> None:
         self.metrics.record_rejection(now_ps=now, request=request, reason=reason)
-        self.outcomes[request.request_id] = f"rejected_{reason}"
+        self._finish(request, f"rejected_{reason}", now)
+
+    # -- terminal funnel and gateway hooks ---------------------------------------------
+
+    def _finish(self, request: TenantRequest, outcome: str, now: int) -> None:
+        """Every request terminates exactly once, through here."""
+        self.outcomes[request.request_id] = outcome
+        self._retry_rngs.pop(request.request_id, None)
+        self._on_outcome(request, outcome, now)
+
+    def _on_outcome(self, request: TenantRequest, outcome: str, now: int) -> None:
+        """Hook: a request reached its typed terminal outcome."""
+
+    def _on_placed(
+        self, request: TenantRequest, now: int, latency_ps: int, replaced: bool
+    ) -> None:
+        """Hook: a session went live on a node (fresh or failover)."""
+
+    def _on_decision(
+        self, request: TenantRequest, decision: AdmissionDecision, now: int
+    ) -> None:
+        """Hook: the admission policy ruled on an arrival."""
 
     # -- fault-side entry points (called by the injector) ------------------------------
 
@@ -345,7 +536,7 @@ class FleetService:
             ):
                 resolutions.append((placement.tenant, "replaced"))
             else:
-                self.outcomes[request.request_id] = "failed_by_fault"
+                self._finish(request, "failed_by_fault", now)
                 self.metrics.record_fault_failure(
                     now_ps=now, tenant=placement.tenant, reason="node_crash"
                 )
@@ -414,14 +605,19 @@ class FleetService:
                 physical_index=tenant.physical_index,
                 latency_ps=cost,
             )
+            self._on_placed(request, now, cost, True)
         else:
+            latency_ps = done - request.arrival_ps
             self.metrics.record_placement(
                 now_ps=now,
                 request=request,
                 node_name=node.name,
                 physical_index=tenant.physical_index,
                 temporal=tenant.oversubscribed,
-                latency_ps=done - request.arrival_ps,
+                latency_ps=latency_ps,
             )
+            if self.admission_policy is not None:
+                self.admission_policy.observe(request, latency_ps, now)
+            self._on_placed(request, now, latency_ps, False)
         self._push(done + session_ps, "departure", (request.tenant, self._epoch))
         return True

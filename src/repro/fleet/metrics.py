@@ -102,6 +102,18 @@ class FleetMetrics:
                 "queue_depth", now_ps, {"depth": float(depth)},
                 tid=self._trace_tid_queue, cat="fleet")
 
+    def record_degrade(self, *, now_ps: int, request, scale: float) -> None:
+        """The admission policy admitted a request with trimmed service."""
+        self.counters.bump("degraded")
+        self.trace.append(
+            f"{now_ps} {request.tenant} {request.accel_type} -> "
+            f"degraded x{scale:.2f}"
+        )
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.degrade", now_ps, tid=self._trace_tid_admission, cat="fleet",
+                args={"tenant": request.tenant, "scale": scale})
+
     def record_retry(self, *, now_ps: int, request, attempt: int) -> None:
         self.counters.bump("retries")
         self.trace.append(
@@ -240,6 +252,8 @@ class FleetMetrics:
                 "rejections_retries_exhausted"
             ),
             "rejections_unsupported": self.counters.get("rejections_unsupported"),
+            "rejections_slo_shed": self.counters.get("rejections_slo_shed"),
+            "degraded": self.counters.get("degraded"),
             "queued": self.counters.get("queued"),
             "retries": self.counters.get("retries"),
             "departures": self.counters.get("departures"),

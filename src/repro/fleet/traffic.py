@@ -39,13 +39,18 @@ DEFAULT_MIX: Dict[str, float] = {
 
 @dataclass(frozen=True)
 class TenantRequest:
-    """One tenant asking for one accelerator for one session."""
+    """One tenant asking for one accelerator for one session.
+
+    ``tenant_class`` names the SLO class the tenant belongs to (see
+    :mod:`repro.serve.slo`); the default keeps batch traffic classless.
+    """
 
     request_id: int
     tenant: str
     accel_type: str
     arrival_ps: int
     session_ps: int
+    tenant_class: str = "default"
 
 
 @dataclass(frozen=True)

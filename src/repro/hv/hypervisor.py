@@ -24,6 +24,7 @@ Responsibilities, mapped to the paper:
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional
 
 from repro.accel.base import (
@@ -92,6 +93,15 @@ class OptimusHypervisor:
         ]
         self._dummy_frame: Optional[int] = None
         self._started: Dict[int, bool] = {}
+        #: Monotonic vaccel id source, plus the IOVA slice free list —
+        #: slices are recycled on teardown (lowest base first, so the
+        #: allocation order is deterministic), which is what lets a
+        #: long-lived serving fleet churn through far more sessions than
+        #: the 48-bit space has slices.  Ids are never reused: watchdog
+        #: bookkeeping and scheduler tie-breaks key on them.
+        self._next_vaccel_id = 0
+        self._next_slice = 0
+        self._free_slices: List[int] = []
         self.mmio_traps = 0
         # Optional per-guest forward-progress watchdog (repro.hv.watchdog);
         # enabled explicitly because it spawns one process per vaccel.
@@ -133,16 +143,21 @@ class OptimusHypervisor:
         """Create a mediated device for ``vm`` on one physical accelerator."""
         if not 0 <= physical_index < len(self.physical):
             raise ConfigurationError(f"no physical accelerator {physical_index}")
-        slice_index = len(self.vaccels)
-        if slice_index >= self.layout.max_slices:
-            raise ConfigurationError("IO virtual address space exhausted")
+        if self._free_slices:
+            slice_index = heapq.heappop(self._free_slices)
+        else:
+            slice_index = self._next_slice
+            if slice_index >= self.layout.max_slices:
+                raise ConfigurationError("IO virtual address space exhausted")
+            self._next_slice += 1
         vaccel = VirtualAccelerator(
-            vaccel_id=slice_index,
+            vaccel_id=self._next_vaccel_id,
             vm=vm,
             job=job,
             slice_=self.layout.slice_for(slice_index),
             physical_index=physical_index,
         )
+        self._next_vaccel_id += 1
         self.vaccels.append(vaccel)
         self.physical[physical_index].attach(vaccel)
         self._started[vaccel.vaccel_id] = False
@@ -201,12 +216,21 @@ class OptimusHypervisor:
         return migrate(self, vaccel, destination_index)
 
     def destroy_virtual_accelerator(self, vaccel: VirtualAccelerator) -> None:
-        """Tear down a mediated device, unmapping its whole slice."""
+        """Tear down a mediated device, unmapping and recycling its slice."""
         self.shadow.teardown_window(vaccel)
         manager = self.physical[vaccel.physical_index]
         if vaccel in manager.vaccels:
             manager.vaccels.remove(vaccel)
         vaccel.state = VAccelState.DETACHED
+        # Reclaim everything keyed on the torn-down device: its IOVA
+        # slice (reused lowest-base-first by the next create), its
+        # started flag, and the hypervisor's own reference.  Without
+        # this, a serving fleet churning through sessions exhausts the
+        # 48-bit IOVA space after ``layout.max_slices`` placements.
+        if vaccel in self.vaccels:
+            self.vaccels.remove(vaccel)
+            heapq.heappush(self._free_slices, vaccel.slice.index)
+        self._started.pop(vaccel.vaccel_id, None)
 
     # -- guest control plane: BAR0 (trap-and-emulate, §4.2) ----------------------------------
 

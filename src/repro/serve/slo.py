@@ -1,0 +1,296 @@
+"""SLO-aware admission: per-class p99 budgets drive backpressure.
+
+The fleet's historical admission control is *queue-depth-only*: every
+request is admitted until the bounded queue overflows, so under
+sustained overload the queue sits full and every admitted request pays
+the whole retry ladder — p99 admission latency grows without bound while
+the rejection counter does all the talking.  A latency SLO inverts the
+contract: each tenant class carries a p99 *budget*, and the gateway
+would rather shed an arrival outright (fast, explicit, typed) than admit
+it into a queue that is already blowing the budget for everyone in its
+class.
+
+:class:`SloBudgetPolicy` implements that as an
+:class:`~repro.fleet.admission.AdmissionPolicy`:
+
+* per class, a :class:`~repro.sim.stats.OnlineQuantile` (streaming P²,
+  O(1) per sample) tracks observed admission latency at the budget
+  quantile — no sample lists, no sorting on the hot path;
+* while the estimate sits above ``degrade_ratio x budget`` the class is
+  *degraded*: arrivals are admitted with their sessions trimmed by
+  ``session_scale`` (shorter occupancy drains the backlog);
+* once the estimate exceeds the budget itself the class *sheds*:
+  arrivals are rejected with reason ``slo_shed`` before touching the
+  queue;
+* estimates are not trusted below ``min_samples`` observations.
+
+Estimators live in **rotating windows** (``window_ps`` of simulated
+time): decisions read the current window's estimator once it has enough
+samples, falling back to the previous window's.  This is what lets the
+policy *recover*: a class that sheds hard stops producing samples, so
+after at most two rotations both windows are empty, the class re-admits,
+and the fresh samples either confirm the overload (shed again) or ride
+the drained queue back under budget.  A cumulative estimator would
+ratchet — one bad burst and the class sheds forever.
+
+The feedback loop self-targets the SLO: admission latency in this fleet
+is bimodal (placement cost when a slot is free, one or more backoff
+periods when queued), so with a budget between the two modes the
+estimate crosses the budget exactly when more than ``1 - quantile`` of
+recent admits queued — shedding then trims the backlog until fresh
+arrivals place immediately again.  Queue-depth-only admission has no
+such signal: under sustained overload the queue sits full and every
+admitted request pays the retry ladder.
+
+Decisions and observations both happen inside the serving loop, in
+simulated-time order, so the policy is exactly as deterministic as the
+loop itself.  The policy doubles as a ``MetricRegistry`` instrument
+(``serve.slo``) whose summary reports per-class SLO attainment — the
+fraction of *admitted* sessions whose admission latency landed within
+budget — next to the live quantile estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.fleet.admission import ADMIT, AdmissionDecision, AdmissionPolicy
+from repro.fleet.traffic import TenantRequest
+from repro.sim.clock import ms, us
+from repro.sim.stats import OnlineQuantile
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """One tenant class's latency contract."""
+
+    name: str
+    #: Admission-latency budget at the tracked quantile (p99 by default).
+    budget_ps: int
+    #: Start degrading once the estimate crosses this fraction of budget.
+    degrade_ratio: float = 0.75
+    #: Session trim applied while the class is degraded (1.0 disables
+    #: the degrade tier entirely: the class goes straight to shedding).
+    session_scale: float = 0.5
+    #: Estimates are ignored until this many observations have landed.
+    min_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if self.budget_ps <= 0:
+            raise ConfigurationError(f"class {self.name}: budget must be positive")
+        if not 0.0 < self.degrade_ratio <= 1.0:
+            raise ConfigurationError(
+                f"class {self.name}: degrade ratio must be in (0, 1]"
+            )
+        if not 0.0 < self.session_scale <= 1.0:
+            raise ConfigurationError(
+                f"class {self.name}: session scale must be in (0, 1]"
+            )
+        if self.min_samples < 1:
+            raise ConfigurationError(
+                f"class {self.name}: min_samples must be >= 1"
+            )
+
+
+def default_classes() -> Dict[str, SloClass]:
+    """The stock three-tier contract used by the CLI and experiments.
+
+    Budgets are calibrated against the fleet's control-plane costs: a
+    fresh placement takes 50 us (``DEFAULT_PLACEMENT_COST_PS``) and one
+    queue bounce costs a 2 ms backoff, so gold (400 us) demands
+    immediate placement, silver (4 ms) tolerates one bounce, and bronze
+    (40 ms) is best-effort: it rides the whole retry ladder, with an
+    aggressive trim tier before shedding.
+    """
+    return {
+        "gold": SloClass("gold", budget_ps=us(400)),
+        "silver": SloClass("silver", budget_ps=us(4_000)),
+        "bronze": SloClass(
+            "bronze", budget_ps=us(40_000), degrade_ratio=0.5
+        ),
+    }
+
+
+class SloBudgetPolicy(AdmissionPolicy):
+    """Budget-based shedding beside the queue-depth-only default."""
+
+    name = "slo-budget"
+
+    def __init__(
+        self,
+        classes: Optional[Dict[str, SloClass]] = None,
+        *,
+        quantile: float = 0.95,
+        window_ps: int = ms(50),
+        registry=None,
+    ) -> None:
+        # ``quantile`` is the *controller* quantile: budgets are stated
+        # at p99, but the controller sheds on a slightly lower quantile
+        # so it reacts before the tail itself breaches (control margin).
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError("quantile must be in (0, 1)")
+        if window_ps <= 0:
+            raise ConfigurationError("estimator window must be positive")
+        self.classes = dict(classes) if classes is not None else default_classes()
+        self.quantile = quantile
+        self.window_ps = window_ps
+        self._current: Dict[str, OnlineQuantile] = {
+            name: OnlineQuantile(quantile, name=f"slo.{name}.cur")
+            for name in sorted(self.classes)
+        }
+        self._previous: Dict[str, OnlineQuantile] = {
+            name: OnlineQuantile(quantile, name=f"slo.{name}.prev")
+            for name in sorted(self.classes)
+        }
+        self._window_end = window_ps
+        # Per-class decision and attainment tallies, keyed by class name.
+        self._admitted: Dict[str, int] = {}
+        self._degraded: Dict[str, int] = {}
+        self._shed: Dict[str, int] = {}
+        self._observed: Dict[str, int] = {}
+        self._in_budget: Dict[str, int] = {}
+        if registry is not None:
+            registry.register(self, name="serve.slo")
+
+    # -- rotating windows --------------------------------------------------
+
+    def _maybe_rotate(self, now: int) -> None:
+        if now < self._window_end:
+            return
+        for name, current in self._current.items():
+            previous = self._previous[name]
+            self._previous[name] = current
+            previous.reset()
+            self._current[name] = previous
+        self._window_end = now + self.window_ps
+
+    def _trusted_estimate(self, slo: SloClass) -> Optional[float]:
+        """The freshest estimate with enough samples behind it, if any."""
+        for estimator in (self._current[slo.name], self._previous[slo.name]):
+            if estimator.count >= slo.min_samples:
+                return estimator.value()
+        return None
+
+    # -- AdmissionPolicy ---------------------------------------------------
+
+    def decide(
+        self, request: TenantRequest, now: int, service
+    ) -> AdmissionDecision:
+        slo = self.classes.get(request.tenant_class)
+        if slo is None:
+            return ADMIT  # classless traffic rides the legacy path
+        self._maybe_rotate(now)
+        estimate = self._trusted_estimate(slo)
+        if estimate is not None:
+            if estimate > slo.budget_ps:
+                self._shed[slo.name] = self._shed.get(slo.name, 0) + 1
+                return AdmissionDecision("shed", reason="slo_shed")
+            if (
+                slo.session_scale < 1.0
+                and estimate > slo.degrade_ratio * slo.budget_ps
+            ):
+                self._degraded[slo.name] = self._degraded.get(slo.name, 0) + 1
+                return AdmissionDecision(
+                    "degrade",
+                    reason="slo_degrade",
+                    session_scale=slo.session_scale,
+                )
+        self._admitted[slo.name] = self._admitted.get(slo.name, 0) + 1
+        return ADMIT
+
+    def observe(self, request: TenantRequest, latency_ps: int, now: int) -> None:
+        slo = self.classes.get(request.tenant_class)
+        if slo is None:
+            return
+        self._maybe_rotate(now)
+        self._current[slo.name].record(latency_ps)
+        self._observed[slo.name] = self._observed.get(slo.name, 0) + 1
+        if latency_ps <= slo.budget_ps:
+            self._in_budget[slo.name] = self._in_budget.get(slo.name, 0) + 1
+
+    def observe_queued(
+        self, request: TenantRequest, pessimistic_ps: int, now: int
+    ) -> None:
+        """Fold in the lower bound the moment a request queues.
+
+        This is the leading edge of the feedback loop: the realized
+        latency of a queued request only lands at placement, a full
+        queue-wait later — by which time the class would have admitted a
+        window's worth of doomed arrivals.  The pessimistic sample moves
+        the estimator *now*; the realized sample follows at placement
+        (slightly over-weighting queued requests, which is exactly the
+        conservative bias a shedding controller wants).  Attainment
+        tallies only realized latencies.
+        """
+        slo = self.classes.get(request.tenant_class)
+        if slo is None:
+            return
+        self._maybe_rotate(now)
+        self._current[slo.name].record(pessimistic_ps)
+
+    # -- instrument protocol ----------------------------------------------
+
+    def attainment(self) -> Dict[str, Dict[str, object]]:
+        """Per-class decisions, estimates, and SLO attainment."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self.classes):
+            slo = self.classes[name]
+            observed = self._observed.get(name, 0)
+            in_budget = self._in_budget.get(name, 0)
+            estimate = self._trusted_estimate(slo)
+            if estimate is None:
+                estimate = self._current[name].value()
+            out[name] = {
+                "budget_ps": slo.budget_ps,
+                "admitted": self._admitted.get(name, 0),
+                "degraded": self._degraded.get(name, 0),
+                "shed": self._shed.get(name, 0),
+                "observed": observed,
+                "in_budget": in_budget,
+                "attainment": in_budget / observed if observed else 1.0,
+                "estimate_ps": int(estimate),
+            }
+        return out
+
+    def reset(self) -> None:
+        for estimator in self._current.values():
+            estimator.reset()
+        for estimator in self._previous.values():
+            estimator.reset()
+        self._window_end = self.window_ps
+        for tally in (
+            self._admitted,
+            self._degraded,
+            self._shed,
+            self._observed,
+            self._in_budget,
+        ):
+            tally.clear()
+
+    def summary(self) -> Optional[Dict[str, object]]:
+        if not any(self._observed.values()) and not any(self._shed.values()):
+            return None
+        return {"quantile": self.quantile, "classes": self.attainment()}
+
+
+class AttainmentMonitor(SloBudgetPolicy):
+    """Measures SLO attainment without ever acting on it.
+
+    The queue-depth-only *baseline arm* of an SLO comparison: admission
+    behavior is byte-for-byte the legacy bounded-queue policy (every
+    arrival admitted untrimmed), but the same per-class budgets are
+    scored, so ``attainment()`` is directly comparable against a
+    :class:`SloBudgetPolicy` run over the same trace.
+    """
+
+    name = "queue-depth"
+
+    def decide(
+        self, request: TenantRequest, now: int, service
+    ) -> AdmissionDecision:
+        slo = self.classes.get(request.tenant_class)
+        if slo is not None:
+            self._admitted[slo.name] = self._admitted.get(slo.name, 0) + 1
+        return ADMIT

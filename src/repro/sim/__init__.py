@@ -28,6 +28,7 @@ from repro.sim.stats import (
     BandwidthMeter,
     Counters,
     LatencyRecorder,
+    OnlineQuantile,
     UtilizationTracker,
     geometric_mean,
     normalized_range,
@@ -45,6 +46,7 @@ __all__ = [
     "INTERCONNECT_CLOCK",
     "LatencyPipe",
     "LatencyRecorder",
+    "OnlineQuantile",
     "Packet",
     "PacketKind",
     "Process",

@@ -114,14 +114,17 @@ class LatencyRecorder:
     ) -> None:
         self.name = name
         self.samples_ps: List[int] = []
+        self._sorted: Optional[List[int]] = None
         if registry is not None:
             registry.register(self)
 
     def record(self, latency_ps: int) -> None:
         self.samples_ps.append(latency_ps)
+        self._sorted = None
 
     def reset(self) -> None:
         self.samples_ps = []
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -146,12 +149,28 @@ class LatencyRecorder:
             return 0.0
         return to_ns(sum(self.samples_ps)) / len(self.samples_ps)
 
+    def quantile_ps(self, q: float) -> int:
+        """Exact ``q``-quantile (``0 < q <= 1``) of the retained samples.
+
+        The sorted view is cached and invalidated on :meth:`record`, so a
+        summary reading several quantiles sorts once — and SLO checks that
+        cross-check the online estimator against truth stay off the
+        sort-per-call path.  Rank rule: ``ceil(q * n)`` (1-based), clamped,
+        matching the historical :meth:`percentile_ns` behaviour exactly.
+        Returns ``0`` with no samples.
+        """
+        if not self.samples_ps:
+            return 0
+        if self._sorted is None:
+            self._sorted = sorted(self.samples_ps)
+        n = len(self._sorted)
+        rank = min(n - 1, max(0, math.ceil(q * n) - 1))
+        return self._sorted[rank]
+
     def percentile_ns(self, pct: float) -> float:
         if not self.samples_ps:
             return 0.0
-        ordered = sorted(self.samples_ps)
-        rank = min(len(ordered) - 1, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
-        return to_ns(ordered[rank])
+        return to_ns(self.quantile_ps(pct / 100.0))
 
     def max_ns(self) -> float:
         return to_ns(max(self.samples_ps)) if self.samples_ps else 0.0
@@ -172,6 +191,120 @@ class LatencyRecorder:
             "min_ns": self.min_ns(),
             "max_ns": self.max_ns(),
         }
+
+
+class OnlineQuantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac,
+    CACM 1985) — O(1) memory and O(1) per sample, no retained sample list.
+
+    The SLO admission path (:mod:`repro.serve.slo`) consults a per-class
+    p99 estimate on *every* arrival; sorting a full
+    :class:`LatencyRecorder` sample list there would make admission
+    O(n log n) per request.  This instrument keeps five markers whose
+    positions are nudged toward the ideal quantile ranks with parabolic
+    interpolation, giving a deterministic estimate from pure float
+    arithmetic (same samples, same order -> bit-identical estimate).
+
+    **Small-sample behavior:** until five samples have arrived the
+    estimate is exact (computed from the observations held so far);
+    :meth:`summary` returns ``None`` with no samples, matching the
+    empty-summary contract of the other instruments.
+    """
+
+    def __init__(
+        self,
+        q: float,
+        name: str = "quantile",
+        *,
+        registry: Optional["MetricRegistry"] = None,
+    ) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.name = name
+        self.count = 0
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+        if registry is not None:
+            registry.register(self)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if self.count <= 5:
+            self._heights.append(value)
+            self._heights.sort()
+            if self.count == 5:
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0 + 4.0 * increment for increment in self._increments
+                ]
+            return
+        heights, positions = self._heights, self._positions
+        # Which cell does the new observation fall in? Extremes stretch
+        # the end markers.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+        # Nudge the three interior markers toward their desired positions.
+        for index in range(1, 4):
+            delta = self._desired[index] - positions[index]
+            below = positions[index] - positions[index - 1]
+            above = positions[index + 1] - positions[index]
+            if (delta >= 1.0 and above > 1.0) or (delta <= -1.0 and below > 1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:  # parabolic estimate left the bracket: linear fallback
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate; exact below five samples, ``0.0`` when empty."""
+        if self.count == 0:
+            return 0.0
+        if self.count < 5:
+            ordered = self._heights
+            rank = min(len(ordered) - 1, max(0, math.ceil(self.q * len(ordered)) - 1))
+            return ordered[rank]
+        return self._heights[2]
+
+    def reset(self) -> None:
+        self.count = 0
+        self._heights = []
+        self._positions = []
+        self._desired = []
+
+    def summary(self) -> Optional[Dict[str, float]]:
+        if self.count == 0:
+            return None
+        return {"q": self.q, "count": float(self.count), "estimate": self.value()}
 
 
 class Counters:

@@ -271,6 +271,37 @@ class TestSchedulers:
         assert busy[0] > 10 * max(busy[1], busy[2], 1)
 
 
+class TestSliceRecycling:
+    """Teardown must recycle IOVA slices: a long-lived serving fleet
+    churns through far more sessions than the 48-bit space has slices."""
+
+    def test_destroy_reclaims_the_slice_but_never_the_id(self):
+        platform, hv = make_stack()
+        vm = hv.create_vm("vm0")
+        vaccels = [
+            hv.create_virtual_accelerator(vm, CopyJob(True)) for _ in range(3)
+        ]
+        assert [va.slice.index for va in vaccels] == [0, 1, 2]
+        hv.destroy_virtual_accelerator(vaccels[0])
+        hv.destroy_virtual_accelerator(vaccels[2])
+        assert len(hv.vaccels) == 1
+        fresh = hv.create_virtual_accelerator(vm, CopyJob(True))
+        # Lowest freed slice base is reused first; ids stay monotonic so
+        # watchdog bookkeeping and scheduler tie-breaks never alias.
+        assert fresh.slice.index == 0
+        assert fresh.vaccel_id == 3
+
+    def test_churn_beyond_max_slices_does_not_exhaust_iova_space(self):
+        platform, hv = make_stack()
+        vm = hv.create_vm("vm0")
+        for _ in range(hv.layout.max_slices + 5):
+            vaccel = hv.create_virtual_accelerator(vm, CopyJob(True))
+            hv.destroy_virtual_accelerator(vaccel)
+        assert len(hv.vaccels) == 0
+        survivor = hv.create_virtual_accelerator(vm, CopyJob(True))
+        assert survivor.slice.index == 0
+
+
 class TestPassthrough:
     def test_native_accelerator_runs_job(self):
         params = PlatformParams()

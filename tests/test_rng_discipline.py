@@ -69,3 +69,92 @@ def test_the_grep_actually_catches_offenders(tmp_path):
     assert NUMPY_GLOBAL.search("np.random.randint(4)")
     assert not NUMPY_GLOBAL.search("np.random.RandomState(0)")
     assert not NUMPY_GLOBAL.search("np.random.default_rng(0)")
+
+
+# -- per-request jitter streams ------------------------------------------------
+#
+# Retry jitter is the one stochastic knob inside the serving loop itself,
+# so its discipline is stricter than "seeded": every request owns an
+# independent stream keyed on (jitter_seed, request_id), and the default
+# jitter of 0.0 must draw nothing at all.
+
+
+def _overloaded_serve(admission=None, admission_policy=None):
+    from repro.fleet import (
+        FleetCluster,
+        FleetService,
+        TrafficGenerator,
+        TrafficProfile,
+        make_policy,
+    )
+
+    cluster = FleetCluster.build(2)
+    requests = TrafficGenerator(
+        TrafficProfile(load=3.0), fleet_slots=cluster.total_slots, seed=5
+    ).generate(120)
+    service = FleetService(
+        cluster,
+        make_policy("best-fit"),
+        admission=admission,
+        admission_policy=admission_policy,
+    )
+    return service.serve(requests)
+
+
+class TestPerRequestJitterStreams:
+    def test_stream_depends_only_on_seed_and_request_id(self):
+        from repro.fleet import request_jitter_rng
+
+        first = request_jitter_rng(7, 42).random_sample(4).tolist()
+        again = request_jitter_rng(7, 42).random_sample(4).tolist()
+        assert first == again
+        assert request_jitter_rng(7, 43).random_sample(4).tolist() != first
+        assert request_jitter_rng(8, 42).random_sample(4).tolist() != first
+
+    def test_draws_on_one_stream_never_shift_another(self):
+        from repro.fleet import request_jitter_rng
+
+        expected = request_jitter_rng(3, 11).random_sample(4).tolist()
+        # Interleave heavy draws on other requests' streams between the
+        # target's draws: the target's sequence must not move.
+        target = request_jitter_rng(3, 11)
+        observed = []
+        for other in (10, 12, 99):
+            request_jitter_rng(3, other).random_sample(256)
+            observed.append(float(target.random_sample()))
+        observed.append(float(target.random_sample()))
+        assert observed == expected
+
+    def test_jittered_serving_is_deterministic(self):
+        from repro.fleet import AdmissionConfig
+
+        config = AdmissionConfig(retry_jitter=0.3, jitter_seed=21)
+        first = _overloaded_serve(admission=config)
+        second = _overloaded_serve(admission=config)
+        assert first.outcomes == second.outcomes
+        assert first.summary() == second.summary()
+        # ...and the seed matters: a different stream reshapes the run.
+        other = _overloaded_serve(
+            admission=AdmissionConfig(retry_jitter=0.3, jitter_seed=22)
+        )
+        assert other.outcomes != first.outcomes
+
+    def test_zero_jitter_is_draw_free_and_byte_stable(self):
+        """``retry_jitter=0.0`` must reproduce the legacy trace exactly —
+        and attaching an admission policy must not perturb it either."""
+        from repro.fleet import ADMIT, AdmissionConfig, AdmissionPolicy
+
+        legacy = _overloaded_serve()
+        explicit_zero = _overloaded_serve(
+            admission=AdmissionConfig(retry_jitter=0.0)
+        )
+        assert explicit_zero.outcomes == legacy.outcomes
+        assert explicit_zero.summary() == legacy.summary()
+
+        class AdmitEverything(AdmissionPolicy):
+            def decide(self, request, now, service):
+                return ADMIT
+
+        with_policy = _overloaded_serve(admission_policy=AdmitEverything())
+        assert with_policy.outcomes == legacy.outcomes
+        assert with_policy.summary() == legacy.summary()
