@@ -1,0 +1,164 @@
+"""Capacity-planning wall-clock benchmark — analytic vs the fleet DES.
+
+Measures, on this machine:
+
+* a fleet-scale capacity sweep (10^5 tenants per cell, loads spanning
+  the exact and fluid regimes) answered twice from identical seeds and
+  identical traffic arrays: once by the fleet DES
+  (``repro.analytic.capacity_des`` driving the real ``FleetService``),
+  once by the analytic planner (``plan_capacity``).  Per cell and in
+  aggregate the wall clocks are reported with the fidelity deltas
+  (placements, latency mean/p99, rejection rate) alongside, so the
+  speedup number can never hide a wrong answer;
+* the calibration cost split: a *cold* analytic stack pays one real DES
+  run per distinct (benchmark, working set, contention) cell before it
+  can replay; a *warm* run (artifacts resident or served from the
+  experiment cache) skips straight to the analytic model.  Both are
+  timed explicitly rather than folded into the sweep.
+
+Honesty notes: every number here is single-process wall clock on
+whatever CPU this container has (``cpu_count`` is recorded; on a 1-CPU
+host there is no parallelism to credit).  The analytic arm's speedup is
+algorithmic — fewer operations, not more cores — which is why the
+sweep's aggregate speedup (>= 100x is this benchmark's acceptance bar)
+transfers to any machine.  The DES arm uses the same seeds, the same
+traffic arrays, and the same envelope schema; fidelity deltas are
+reported from this very run, and the cross-validation suite
+(``tests/test_analytic_validation.py``) enforces the bands.
+
+Results are written to ``BENCH_capacity.json`` so successive PRs can
+diff wall-clock numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_capacity.py [--quick]
+        [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.analytic import (  # noqa: E402
+    CalibrationStore,
+    CapacityConfig,
+    capacity_des,
+    plan_capacity,
+)
+from repro.experiments.harness import make_stack, measure_progress  # noqa: E402
+from repro.mem import MB  # noqa: E402
+from repro.sim.clock import us  # noqa: E402
+
+SEED = 7
+
+
+def bench_sweep(tenants: int, loads, *, nodes: int = 8) -> dict:
+    rows = []
+    total_des = 0.0
+    total_analytic = 0.0
+    for load in loads:
+        config = CapacityConfig(
+            tenants=tenants, nodes=nodes, load=load, seed=SEED, bootstrap=200
+        )
+        start = time.perf_counter()
+        des = capacity_des(config)
+        des_s = time.perf_counter() - start
+        start = time.perf_counter()
+        analytic = plan_capacity(config)
+        analytic_s = time.perf_counter() - start
+        total_des += des_s
+        total_analytic += analytic_s
+        rows.append(
+            {
+                "load": load,
+                "engine": analytic["engine"],
+                "des_s": round(des_s, 3),
+                "analytic_s": round(analytic_s, 4),
+                "speedup": round(des_s / analytic_s, 1),
+                "placements_rel_err": round(
+                    analytic["placements"] / des["placements"] - 1, 4
+                ),
+                "latency_mean_rel_err": round(
+                    analytic["latency_ps"]["mean"] / des["latency_ps"]["mean"] - 1,
+                    4,
+                ),
+                "latency_p99_rel_err": round(
+                    analytic["latency_ps"]["p99"]
+                    / max(1, des["latency_ps"]["p99"])
+                    - 1,
+                    4,
+                ),
+                "rejection_rate_abs_err": round(
+                    analytic["rejection_rate"] - des["rejection_rate"], 4
+                ),
+            }
+        )
+    return {
+        "tenants": tenants,
+        "nodes": nodes,
+        "seed": SEED,
+        "rows": rows,
+        "total_des_s": round(total_des, 3),
+        "total_analytic_s": round(total_analytic, 4),
+        "aggregate_speedup": round(total_des / total_analytic, 1),
+    }
+
+
+def bench_calibration() -> dict:
+    """Cold calibration cost vs warm replay, per the fig6-shaped cell."""
+    store = CalibrationStore()
+
+    def replay() -> float:
+        stack = make_stack("analytic", calibration=store)
+        launched = stack.launch(
+            "MB", working_set=16 * MB, job_kwargs={"functional": False}
+        )
+        start = time.perf_counter()
+        measure_progress(stack, [launched], warmup_ps=us(400), window_ps=us(200))
+        return time.perf_counter() - start
+
+    cold_s = replay()  # first run through this store pays the DES run
+    warm_s = replay()  # artifacts resident: pure arithmetic
+    assert store.calibrations == 1, "warm replay must not recalibrate"
+    return {
+        "cell": "MB read, 16 MiB working set, contention 1",
+        "cold_calibration_s": round(cold_s, 3),
+        "warm_replay_s": round(warm_s, 5),
+        "note": "cold pays one real DES run per distinct cell; warm runs "
+        "skip straight to the analytic model (artifacts are "
+        "canonical-JSON, content-addressed by source-tree digest)",
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--output", default="BENCH_capacity.json")
+    args = parser.parse_args()
+
+    tenants = 10_000 if args.quick else 100_000
+    loads = [0.6, 6.0] if args.quick else [0.6, 4.5, 6.0]
+    results = {
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "methodology": "identical seeds and traffic arrays per cell; the "
+        "analytic arm is warm (no calibration inside the timed region — "
+        "the capacity planner needs none, and calibration cost is timed "
+        "separately below); speedup is algorithmic, single-process wall "
+        "clock on this host's CPU, so it does not depend on core count",
+        "sweep": bench_sweep(tenants, loads),
+        "calibration": bench_calibration(),
+    }
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

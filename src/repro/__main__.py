@@ -16,6 +16,8 @@ Usage::
     python -m repro chaos single --plan rogue-guest --json
     python -m repro serve --sessions 2000 --load 2.0      # serving gateway
     python -m repro serve --trace sessions.json --shards 2 --json
+    python -m repro capacity --tenants 1000000 --load 6.0 # analytic planner
+    python -m repro capacity --mode optimus --tenants 5000 --json
 
 ``run`` exits non-zero if any experiment raises (and keeps going through
 the rest of ``all``, reporting every failure at the end).
@@ -67,6 +69,10 @@ EXPERIMENTS = {
     "serve_slo": (
         "repro.experiments.serve_slo",
         "in-budget p99 attainment: SLO shedding vs queue-depth admission",
+    ),
+    "capacity_plan": (
+        "repro.experiments.capacity_plan",
+        "capacity sweep: analytic fast-forward vs fleet DES, side by side",
     ),
 }
 
@@ -324,6 +330,91 @@ def _serve_command(args: argparse.Namespace) -> int:
                 f"(budget {stats['budget_ps'] / 1e9:.2f} ms, "
                 f"estimate {stats['estimate_ps'] / 1e9:.2f} ms)"
             )
+    return 0
+
+
+def _capacity_command(args: argparse.Namespace) -> int:
+    """One capacity-planning question, answered by the chosen backend."""
+    from repro.analytic import CapacityConfig, default_store, run_capacity
+    from repro.errors import ReproError
+    from repro.sim.clock import ms
+
+    try:
+        config = CapacityConfig(
+            tenants=args.tenants,
+            nodes=args.nodes,
+            load=args.load,
+            seed=args.seed,
+            mean_session_ps=ms(args.mean_session_ms),
+            horizon_ps=int(args.horizon_s * 10**12),
+            bootstrap=args.bootstrap,
+        )
+        results = run_capacity(
+            args.mode, config, goodput=not args.no_goodput
+        )
+    except ReproError as error:
+        print(f"capacity: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        envelope = {
+            "experiment": "capacity",
+            "params": {
+                "mode": args.mode,
+                "tenants": args.tenants,
+                "nodes": args.nodes,
+                "load": args.load,
+                "seed": args.seed,
+                "mean_session_ms": args.mean_session_ms,
+                "horizon_s": args.horizon_s,
+                "bootstrap": args.bootstrap,
+                "goodput": not args.no_goodput,
+            },
+            "results": _to_jsonable(results),
+        }
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"capacity[{args.mode}/{results['engine']}]: {args.tenants} tenants, "
+        f"{args.nodes} nodes, load {args.load}, seed {args.seed}"
+    )
+    latency = results["latency_ps"]
+    cis = results.get("latency_ci95_ps") or {}
+    print(
+        f"placed {results['placements']:.1f} / {results['requests']} "
+        f"(rejection rate {results['rejection_rate']:.4f})"
+    )
+    mean_ci = cis.get("mean_ps")
+    ci_note = (
+        f"  [ci95 {mean_ci[0] / 1e9:.3f}..{mean_ci[1] / 1e9:.3f}]"
+        if mean_ci
+        else ""
+    )
+    print(
+        f"latency: mean {latency['mean'] / 1e9:.3f} ms{ci_note}  "
+        f"p50 {latency['p50'] / 1e9:.3f} ms  p99 {latency['p99'] / 1e9:.3f} ms"
+    )
+    for name, stats in results["classes"].items():
+        ci = stats.get("attainment_ci95") or []
+        tail = f"  [ci95 {ci[0]:.4f}..{ci[1]:.4f}]" if ci else ""
+        print(
+            f"  {name:<8} budget {stats['budget_ps'] / 1e9:>6.1f} ms  "
+            f"share {stats['share']:.2f}  "
+            f"attainment {stats['attainment']:.4f}{tail}"
+        )
+    util = "  ".join(
+        f"{t}={u:.2f}" for t, u in sorted(results["utilization_by_type"].items())
+    )
+    print(f"utilization/slot: {util}")
+    if results["goodput_gbps_by_type"]:
+        goodput = "  ".join(
+            f"{t}={v:.1f}" for t, v in sorted(results["goodput_gbps_by_type"].items())
+        )
+        print(f"goodput GB/s: {goodput}")
+    print(
+        f"span {results['span_ps'] / 1e12:.3f} s  "
+        f"calibration digest {results['calibration_digest']}  "
+        f"cells {len(default_store())}"
+    )
     return 0
 
 
@@ -645,6 +736,54 @@ def main(argv=None) -> int:
         help="shard fleet nodes across N worker processes (byte-identical results)",
     )
 
+    from repro.experiments.harness import STACK_MODES
+
+    capacity = sub.add_parser(
+        "capacity",
+        help="fleet capacity planning (analytic fast-forward or DES)",
+    )
+    capacity.add_argument(
+        "--mode",
+        default="analytic",
+        # Single-sourced from the stack registry: a new stack mode shows
+        # up here (and in error messages) without touching the CLI.
+        choices=list(STACK_MODES),
+        help="backend: analytic = calibrated planner, optimus = fleet DES",
+    )
+    capacity.add_argument(
+        "--tenants", type=int, default=100_000, help="tenant request count"
+    )
+    capacity.add_argument("--nodes", type=int, default=8, help="fleet size")
+    capacity.add_argument("--load", type=float, default=1.2, help="offered load")
+    capacity.add_argument("--seed", type=int, default=7, help="traffic seed")
+    capacity.add_argument(
+        "--mean-session-ms",
+        type=int,
+        default=20,
+        metavar="MS",
+        help="mean tenant session length in milliseconds",
+    )
+    capacity.add_argument(
+        "--horizon-s",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="simulated-time horizon in seconds (0 = whole trace)",
+    )
+    capacity.add_argument(
+        "--bootstrap",
+        type=int,
+        default=200,
+        metavar="B",
+        help="bootstrap resamples for the 95%% confidence intervals",
+    )
+    capacity.add_argument(
+        "--no-goodput",
+        action="store_true",
+        help="skip calibrated per-type goodput (avoids calibration runs)",
+    )
+    capacity.add_argument("--json", action="store_true", help="emit envelope as JSON")
+
     chaos = sub.add_parser(
         "chaos", help="inject a deterministic fault plan and watch recovery"
     )
@@ -707,6 +846,9 @@ def main(argv=None) -> int:
 
     if args.command == "serve":
         return _serve_command(args)
+
+    if args.command == "capacity":
+        return _capacity_command(args)
 
     if args.command == "list" or args.command is None:
         as_json = bool(getattr(args, "json", False))

@@ -1,0 +1,260 @@
+"""The analytic fast-forward stack: ``make_stack("analytic", ...)``.
+
+A third :class:`~repro.experiments.harness.Stack` implementation next to
+OPTIMUS and pass-through.  Instead of simulating every packet it
+**fast-forwards** steady-state phases: each launched job resolves to a
+calibrated cell (:mod:`repro.analytic.calibration`) and, when the clock
+advances,
+
+* throughput jobs accrue bytes linearly at the calibrated GB/s, and
+* latency jobs replay the calibrated service-time distribution by
+  stratified inverse-CDF sampling (piecewise-linear CDF through the
+  min/p50/p95/p99/max envelope, mean-corrected, seeded shuffle so the
+  steady-state halves experiments read are unbiased).
+
+The stack exposes the same surface experiments consume — ``params``,
+``platform.engine.now``, ``jobs``, ``launch()``, ``run_for()`` — so
+fig4/5/6-shaped code runs unchanged.  On a cold calibration cache the
+first ``run_for`` pays one real DES run per distinct cell; warm runs are
+pure arithmetic, which is what makes 10^6-tenant capacity sweeps
+tractable (:mod:`repro.analytic.capacity`).
+
+Transient effects inside one run are deliberately not modeled: replay is
+stationary at the cell's steady state.  The cross-validation suite
+(``tests/test_analytic_validation.py``) bounds the resulting error
+against DES with a declared tolerance band.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analytic.calibration import (
+    CellSpec,
+    CellStats,
+    LATENCY_BENCHMARKS,
+    CalibrationStore,
+    default_store,
+)
+from repro.errors import ConfigurationError
+from repro.interconnect import VirtualChannel
+from repro.mem import MB
+from repro.platform import PlatformParams
+from repro.sim.stats import LatencyRecorder
+
+#: Cap on replayed latency samples per ``run_for`` call: enough for any
+#: steady-state mean/quantile readout, bounded so a week-long fast-forward
+#: does not materialize a week of per-hop samples.
+MAX_REPLAY_SAMPLES = 50_000
+
+_REPLAY_SEED_MIX = 0x5EED_A11C
+
+
+class AnalyticEngine:
+    """The minimal engine surface measurement helpers touch."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.trace = None
+
+
+class AnalyticPlatform:
+    """A platform stand-in: parameters plus a fast-forwardable clock."""
+
+    def __init__(self, params: PlatformParams) -> None:
+        self.params = params
+        self.engine = AnalyticEngine()
+
+    def run_for(self, duration_ps: int) -> None:
+        self.engine.now += duration_ps
+
+
+class AnalyticJob:
+    """One replayed job: calibrated rates instead of simulated packets."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        working_set: int,
+        channel: VirtualChannel,
+        variant: str,
+        target_hops: Optional[int],
+        replay_seed: int,
+    ) -> None:
+        self.name = name
+        self.working_set = working_set
+        self.channel = channel
+        self.variant = variant
+        self.target_hops = target_hops
+        self.latency = LatencyRecorder(f"analytic.{name}.latency")
+        self.bytes_done = 0
+        self.started = False
+        self.stats: Optional[CellStats] = None
+        self._bytes_f = 0.0
+        self._hops = 0
+        self._rng = np.random.RandomState(replay_seed & 0xFFFFFFFF)
+
+    # -- the AcceleratorJob surface experiments read ------------------------------
+
+    def progress_units(self) -> int:
+        if self.name in LATENCY_BENCHMARKS:
+            return self._hops
+        return self.bytes_done // 64
+
+    def start(self) -> None:
+        self.started = True
+
+    # MMIO writes configure register files on real stacks; the analytic
+    # job's configuration came through ``launch`` keywords already.
+    def mmio_write(self, reg: int, value: int) -> None:  # pragma: no cover
+        pass
+
+    def alloc_buffer(self, size: int) -> int:  # pragma: no cover
+        return 0
+
+    # -- fast-forward -------------------------------------------------------------
+
+    def advance(self, duration_ps: int) -> None:
+        stats = self.stats
+        if stats is None or not self.started:
+            return
+        if stats.kind == "throughput":
+            # GB/s == bytes/ns: bytes = gbps * ps / 1e3.
+            self._bytes_f += stats.gbps_per_job * duration_ps / 1e3
+            self.bytes_done = int(self._bytes_f)
+            return
+        mean = max(1.0, stats.mean_ps)
+        count = int(duration_ps / mean)
+        if self.target_hops is not None:
+            count = min(count, self.target_hops - self._hops)
+        count = min(count, MAX_REPLAY_SAMPLES)
+        if count <= 0:
+            return
+        for sample in _replay_samples(stats, count, self._rng):
+            self.latency.record(sample)
+        self._hops += count
+
+
+def _replay_samples(stats: CellStats, count: int, rng) -> List[int]:
+    """Stratified inverse-CDF replay of a calibrated latency envelope.
+
+    The CDF is piecewise linear through (0, min) (0.5, p50) (0.95, p95)
+    (0.99, p99) (1, max); stratified uniforms make the empirical
+    quantiles land on the calibrated knots, and an additive correction
+    re-centers the piecewise-linear mean on the calibrated mean (the
+    linear-density assumption inside segments would otherwise bias it).
+    A seeded shuffle destroys the sort order so windowed/halved readouts
+    (``steady_samples_ps``) stay unbiased.
+    """
+    knots_u = (0.0, 0.5, 0.95, 0.99, 1.0)
+    knots_v = (
+        float(stats.min_ps),
+        float(stats.p50_ps),
+        float(stats.p95_ps),
+        float(stats.p99_ps),
+        float(stats.max_ps),
+    )
+    mean_pl = sum(
+        (knots_u[i + 1] - knots_u[i]) * (knots_v[i] + knots_v[i + 1]) / 2.0
+        for i in range(len(knots_u) - 1)
+    )
+    shift = stats.mean_ps - mean_pl
+    u = (np.arange(count) + rng.random_sample(count)) / count
+    values = np.interp(u, knots_u, knots_v) + shift
+    np.maximum(values, 1.0, out=values)
+    rng.shuffle(values)
+    return [int(v) for v in values]
+
+
+class AnalyticStack:
+    """Calibrated fast-forward stack with the shared launch surface."""
+
+    def __init__(
+        self,
+        params: Optional[PlatformParams] = None,
+        *,
+        n_accelerators: int = 8,
+        calibration: Optional[CalibrationStore] = None,
+        replay_seed: int = 0,
+    ) -> None:
+        self.params = params or PlatformParams()
+        self.platform = AnalyticPlatform(self.params)
+        self.n_accelerators = n_accelerators
+        self.calibration = calibration if calibration is not None else default_store()
+        self.replay_seed = replay_seed
+        self.jobs: List = []
+        self._analytic_jobs: List[AnalyticJob] = []
+        self._resolved = False
+
+    def launch(
+        self,
+        name: str,
+        *,
+        physical_index: int = 0,
+        working_set: int = 64 * MB,
+        stream_len: int = 1 << 40,
+        channel: VirtualChannel = VirtualChannel.VA,
+        graph=None,
+        job_kwargs: Optional[dict] = None,
+        start: bool = True,
+    ):
+        from repro.experiments.harness import LaunchedJob
+
+        if physical_index >= self.n_accelerators:
+            raise ConfigurationError(
+                f"physical_index {physical_index} out of range "
+                f"(stack has {self.n_accelerators} accelerators)"
+            )
+        kwargs = dict(job_kwargs or {})
+        variant = ""
+        if name == "MB":
+            from repro.accel.membench import MODE_WRITE
+
+            variant = "write" if kwargs.get("mode") == MODE_WRITE else "read"
+        job = AnalyticJob(
+            name,
+            working_set=working_set,
+            channel=channel,
+            variant=variant,
+            target_hops=kwargs.get("target_hops"),
+            replay_seed=(
+                self.replay_seed * _REPLAY_SEED_MIX
+                + kwargs.get("seed", 0)
+                + 7919 * len(self.jobs)
+            ),
+        )
+        launched = LaunchedJob(
+            name=name, job=job, handle=job, cache_line=self.params.cache_line
+        )
+        self.jobs.append(launched)
+        self._analytic_jobs.append(job)
+        self._resolved = False
+        if start:
+            job.start()
+        return launched
+
+    def _resolve(self) -> None:
+        """Bind every job to its calibrated cell at the current contention."""
+        contention = max(1, sum(1 for j in self._analytic_jobs if j.started))
+        for job in self._analytic_jobs:
+            spec = CellSpec(
+                benchmark=job.name,
+                working_set=job.working_set,
+                contention=contention,
+                page_size=self.params.page_size,
+                channel=job.channel.value,
+                variant=job.variant,
+                speculative=self.params.speculative_region_opt,
+            )
+            job.stats = self.calibration.get_or_calibrate(spec)
+        self._resolved = True
+
+    def run_for(self, duration_ps: int) -> None:
+        if not self._resolved:
+            self._resolve()
+        for job in self._analytic_jobs:
+            job.advance(duration_ps)
+        self.platform.engine.now += duration_ps

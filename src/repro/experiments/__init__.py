@@ -9,6 +9,7 @@ functions with trimmed parameters.
 
 from repro.experiments.harness import (
     ENDLESS,
+    STACK_MODES,
     LaunchedJob,
     OptimusStack,
     PassthroughStack,
@@ -20,6 +21,7 @@ from repro.experiments.harness import (
 
 __all__ = [
     "ENDLESS",
+    "STACK_MODES",
     "LaunchedJob",
     "OptimusStack",
     "PassthroughStack",

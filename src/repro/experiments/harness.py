@@ -281,8 +281,26 @@ class PassthroughStack:
         self.platform.run_for(duration_ps)
 
 
-#: Stack modes understood by :func:`make_stack`.
-STACK_MODES = ("optimus", "passthrough")
+def _make_analytic_stack(params, **kwargs):
+    # Imported lazily: repro.analytic imports experiment modules that in
+    # turn import this harness, so a top-level import would be circular.
+    from repro.analytic.stack import AnalyticStack
+
+    return AnalyticStack(params, **kwargs)
+
+
+#: Mode name -> stack factory.  This registry is the single source of
+#: truth for the mode list: :data:`STACK_MODES`, CLI ``--mode`` choices,
+#: and the unknown-mode error message all derive from it, so adding a
+#: backend here is the whole job.
+_STACK_FACTORIES: Dict[str, Callable[..., "Stack"]] = {
+    "optimus": lambda params, **kwargs: OptimusStack(params, **kwargs),
+    "passthrough": lambda params, **kwargs: PassthroughStack(params, **kwargs),
+    "analytic": _make_analytic_stack,
+}
+
+#: Stack modes understood by :func:`make_stack`, in registry order.
+STACK_MODES = tuple(_STACK_FACTORIES)
 
 
 def make_stack(
@@ -292,21 +310,21 @@ def make_stack(
 ) -> Stack:
     """Build an experiment stack by mode name — the one mode branch.
 
-    ``mode`` is ``"optimus"`` or ``"passthrough"`` (a
+    ``mode`` is one of :data:`STACK_MODES` (a
     :class:`~repro.platform.PlatformMode` is also accepted).  Keyword
     arguments are forwarded to the stack constructor: ``n_accelerators``
-    and ``mux_topology`` for OPTIMUS, ``virtualized`` for pass-through.
-    Experiments built on this (fig4, fig6, chaos, ...) stay mode-agnostic.
+    and ``mux_topology`` for OPTIMUS, ``virtualized`` for pass-through,
+    ``calibration`` for the analytic fast-forward backend.  Experiments
+    built on this (fig4, fig6, chaos, ...) stay mode-agnostic.
     """
     if isinstance(mode, PlatformMode):
         mode = mode.value
-    if mode == "optimus":
-        return OptimusStack(params, **kwargs)
-    if mode == "passthrough":
-        return PassthroughStack(params, **kwargs)
-    raise ConfigurationError(
-        f"unknown stack mode {mode!r}; expected one of {STACK_MODES}"
-    )
+    factory = _STACK_FACTORIES.get(mode)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown stack mode {mode!r}; expected one of {STACK_MODES}"
+        )
+    return factory(params, **kwargs)
 
 
 # -- parallel sweeps ---------------------------------------------------------------

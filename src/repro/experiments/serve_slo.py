@@ -34,18 +34,15 @@ from repro.serve import (
     SloClass,
     synthesize,
 )
-from repro.serve.slo import AttainmentMonitor
+from repro.serve.slo import AttainmentMonitor, capacity_classes
 from repro.sim.clock import ms
 
-#: Budgets spanning the fleet's backoff ladder (placement 50 us; queue
-#: bounces land at ~2 / 6 / 14 ms cumulative wait): gold tolerates one
-#: bounce, silver two, bronze anything short of the full ladder.
+
 def study_classes() -> Dict[str, SloClass]:
-    return {
-        "gold": SloClass("gold", budget_ps=ms(5)),
-        "silver": SloClass("silver", budget_ps=ms(10)),
-        "bronze": SloClass("bronze", budget_ps=ms(12), degrade_ratio=0.5),
-    }
+    """The study's class contract — shared with capacity planning so the
+    serve-SLO figures and ``python -m repro capacity`` report attainment
+    against the same budgets (see :func:`repro.serve.slo.capacity_classes`)."""
+    return capacity_classes()
 
 
 def serve_arm(

@@ -18,7 +18,7 @@ deterministic, the fleet's entire placement trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -61,6 +61,13 @@ class TrafficProfile:
     mix: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
     mean_session_ps: int = ms(20)
     min_session_ps: int = ms(1)
+    #: Optional SLO-class mix (e.g. ``{"gold": .2, "silver": .3,
+    #: "bronze": .5}``).  ``None`` keeps every request in the classless
+    #: ``"default"`` class AND keeps the RNG stream byte-identical to
+    #: profiles that predate this field: class picks are drawn *after*
+    #: the gap/type/session draws, so enabling classes never perturbs
+    #: arrival times, accelerator types, or session lengths.
+    class_mix: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.load <= 0:
@@ -69,6 +76,10 @@ class TrafficProfile:
             raise ConfigurationError("traffic mix needs positive weights")
         if self.min_session_ps <= 0 or self.mean_session_ps < self.min_session_ps:
             raise ConfigurationError("invalid session lifetime parameters")
+        if self.class_mix is not None and (
+            not self.class_mix or any(w <= 0 for w in self.class_mix.values())
+        ):
+            raise ConfigurationError("class mix needs positive weights")
 
 
 class TrafficGenerator:
@@ -102,6 +113,7 @@ class TrafficGenerator:
         gaps = rng.exponential(self.mean_interarrival_ps, size=count)
         picks = rng.choice(len(types), size=count, p=weights)
         sessions = rng.exponential(self.profile.mean_session_ps, size=count)
+        classes, class_picks = self._class_picks(rng, count)
 
         requests: List[TenantRequest] = []
         now = 0
@@ -115,9 +127,66 @@ class TrafficGenerator:
                     accel_type=types[int(picks[index])],
                     arrival_ps=now,
                     session_ps=session,
+                    tenant_class=(
+                        classes[int(class_picks[index])]
+                        if class_picks is not None
+                        else "default"
+                    ),
                 )
             )
         return requests
+
+    def generate_arrays(self, count: int) -> Dict[str, object]:
+        """The same request stream as :meth:`generate`, as numpy arrays.
+
+        The analytic capacity model (:mod:`repro.analytic.capacity`)
+        consumes the raw arrays instead of 10^6 ``TenantRequest``
+        objects.  Draw order and rounding match :meth:`generate` exactly
+        — ``numpy.rint`` and Python's ``round`` both round half to even
+        — so ``generate(n)[i]`` equals row ``i`` of these arrays (a
+        property ``tests/test_capacity.py`` asserts).
+
+        Returns ``{"arrival_ps", "type_index", "session_ps",
+        "class_index", "types", "classes"}``; ``class_index`` is all
+        zeros and ``classes == ["default"]`` when the profile carries no
+        class mix.
+        """
+        if count < 1:
+            raise ConfigurationError("request count must be positive")
+        rng = np.random.RandomState(self.seed)
+        types, weights = self._normalized_mix()
+        gaps = rng.exponential(self.mean_interarrival_ps, size=count)
+        picks = rng.choice(len(types), size=count, p=weights)
+        sessions = rng.exponential(self.profile.mean_session_ps, size=count)
+        classes, class_picks = self._class_picks(rng, count)
+        arrival = np.cumsum(
+            np.maximum(1, np.rint(gaps).astype(np.int64)), dtype=np.int64
+        )
+        session = np.maximum(
+            self.profile.min_session_ps, np.rint(sessions).astype(np.int64)
+        )
+        if class_picks is None:
+            classes = ["default"]
+            class_picks = np.zeros(count, dtype=np.int64)
+        return {
+            "arrival_ps": arrival,
+            "type_index": picks.astype(np.int64),
+            "session_ps": session,
+            "class_index": class_picks.astype(np.int64),
+            "types": list(types),
+            "classes": list(classes),
+        }
+
+    def _class_picks(
+        self, rng: np.random.RandomState, count: int
+    ) -> Tuple[Optional[List[str]], Optional[np.ndarray]]:
+        """Class assignment draws, strictly *after* the legacy draws."""
+        if self.profile.class_mix is None:
+            return None, None
+        names = sorted(self.profile.class_mix)
+        weights = np.array([self.profile.class_mix[c] for c in names], dtype=float)
+        picks = rng.choice(len(names), size=count, p=weights / weights.sum())
+        return names, picks
 
     def _normalized_mix(self) -> Tuple[List[str], np.ndarray]:
         types = sorted(self.profile.mix)

@@ -113,6 +113,23 @@ def default_classes() -> Dict[str, SloClass]:
     }
 
 
+def capacity_classes() -> Dict[str, SloClass]:
+    """The class contract capacity planning reports attainment against.
+
+    Budgets sit on the fleet's retry-ladder rungs (placement cost 50 us,
+    backoff 2/4/8 ms): gold (5 ms) tolerates one queue bounce, silver
+    (10 ms) two, and bronze (12 ms) anything short of the full ladder.
+    Shares come from :data:`repro.serve.trace.DEFAULT_CLASS_MIX`; the
+    capacity planner (:mod:`repro.analytic.capacity`) and the serve-SLO
+    study both source their classes here so the two stories agree.
+    """
+    return {
+        "gold": SloClass("gold", budget_ps=ms(5)),
+        "silver": SloClass("silver", budget_ps=ms(10)),
+        "bronze": SloClass("bronze", budget_ps=ms(12), degrade_ratio=0.5),
+    }
+
+
 class SloBudgetPolicy(AdmissionPolicy):
     """Budget-based shedding beside the queue-depth-only default."""
 

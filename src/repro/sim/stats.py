@@ -205,10 +205,13 @@ class OnlineQuantile:
     interpolation, giving a deterministic estimate from pure float
     arithmetic (same samples, same order -> bit-identical estimate).
 
-    **Small-sample behavior:** until five samples have arrived the
-    estimate is exact (computed from the observations held so far);
-    :meth:`summary` returns ``None`` with no samples, matching the
-    empty-summary contract of the other instruments.
+    **Small-sample behavior:** through the first five samples the
+    estimate is *exact* — computed from the observations held so far with
+    the same ``ceil(q * n)`` rank rule as
+    :meth:`LatencyRecorder.quantile_ps`, so the two estimators agree on
+    degenerate sample counts; :meth:`summary` returns ``None`` with no
+    samples, matching the empty-summary contract of the other
+    instruments.
     """
 
     def __init__(
@@ -286,10 +289,20 @@ class OnlineQuantile:
         return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
 
     def value(self) -> float:
-        """Current estimate; exact below five samples, ``0.0`` when empty."""
+        """Current estimate; exact through five samples, ``0.0`` when empty.
+
+        At ``count <= 5`` the marker heights are still the sorted raw
+        observations, so the exact ``ceil(q * n)`` rank rule applies — the
+        same rule as :meth:`LatencyRecorder.quantile_ps`, so the online
+        and exact estimators agree on degenerate sample counts.  (Reading
+        ``_heights[2]`` at exactly five samples would report the *median*
+        for any ``q`` — a discontinuity the analytic replay path tripped
+        over: the p99 of five samples is their max.)  From the sixth
+        sample on, marker 2 is the P² quantile marker proper.
+        """
         if self.count == 0:
             return 0.0
-        if self.count < 5:
+        if self.count <= 5:
             ordered = self._heights
             rank = min(len(ordered) - 1, max(0, math.ceil(self.q * len(ordered)) - 1))
             return ordered[rank]

@@ -165,6 +165,91 @@ class TestParallelMapCaching:
         assert CALLS == [5, 5]
 
 
+# -- analytic backend participation (PR 7 satellite) ---------------------------
+
+
+MODE_CALLS = []
+
+
+def _tracked_mode_cell(cell):
+    MODE_CALLS.append(cell)
+    return cell[0]
+
+
+class TestAnalyticKeyCoverage:
+    def test_capacity_cells_carry_mode_and_digest(self, cache):
+        from repro.experiments.capacity_plan import cells_for
+
+        cells = cells_for(
+            [("analytic", 100, 2, 0.5, 20, 0), ("optimus", 100, 2, 0.5, 20, 0)],
+            bootstrap=10,
+            seed=1,
+        )
+        assert [cell[0] for cell in cells] == ["analytic", "optimus"]
+        from repro.analytic import default_store
+
+        assert all(cell[1] == default_store().digest() for cell in cells)
+        tag = "repro.experiments.capacity_plan._capacity_cell"
+        assert cache.key(tag, cells[0]) != cache.key(tag, cells[1])
+
+    def test_calibration_digest_changes_the_cell_key(self, cache):
+        tag = "repro.experiments.capacity_plan._capacity_cell"
+        with_digest = lambda d: ("analytic", d, 100, 2, 0.5, 20, 0, 10, 1)
+        assert cache.key(tag, with_digest("aaaa")) != cache.key(
+            tag, with_digest("bbbb")
+        )
+
+    def test_parallel_map_never_serves_cross_mode_or_cross_digest_hits(
+        self, cache
+    ):
+        MODE_CALLS.clear()
+        base = (100, 2, 0.5, 20, 0, 10, 1)
+        assert parallel_map(
+            _tracked_mode_cell, [("analytic", "digest-x", *base)]
+        ) == ["analytic"]
+        # Same numeric scenario, different backend: must recompute.
+        assert parallel_map(
+            _tracked_mode_cell, [("optimus", "digest-x", *base)]
+        ) == ["optimus"]
+        # Same backend, different calibration artifacts: must recompute.
+        assert parallel_map(
+            _tracked_mode_cell, [("analytic", "digest-y", *base)]
+        ) == ["analytic"]
+        assert len(MODE_CALLS) == 3
+        assert cache.hits == 0 and cache.stores == 3
+
+
+class TestCalibrationArtifacts:
+    def _spec(self):
+        from repro.analytic import CellSpec
+        from repro.mem import MB
+
+        return CellSpec(benchmark="LL", working_set=1 * MB, hops=256)
+
+    def test_artifact_round_trips_and_skips_recalibration(self, cache):
+        from repro.analytic import CalibrationStore
+
+        spec = self._spec()
+        store = CalibrationStore()
+        stats = store.get_or_calibrate(spec)
+        assert store.calibrations == 1
+        fresh = CalibrationStore()
+        assert fresh.get_or_calibrate(spec) == stats
+        assert fresh.calibrations == 0  # served from the artifact cache
+        assert fresh.digest() == store.digest()
+
+    def test_artifact_is_canonical_json(self, cache):
+        from repro.analytic import CalibrationStore
+
+        spec = self._spec()
+        CalibrationStore().get_or_calibrate(spec)
+        key = cache.key(CalibrationStore.CACHE_TAG, spec.payload())
+        hit, artifact = cache.load(key)
+        assert hit
+        assert isinstance(artifact, str)
+        assert artifact == canonical_json(json.loads(artifact))
+
+
 # -- CLI integration -----------------------------------------------------------
 
 

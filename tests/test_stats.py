@@ -70,6 +70,30 @@ class TestOnlineQuantile:
             estimator.record(value)
             assert estimator.value() == expected
 
+    def test_exact_at_exactly_five_samples(self):
+        # The fifth sample completes P^2 initialization; historically the
+        # estimate jumped to the median marker there regardless of the
+        # tracked quantile (a p95 estimator reading p50 for one sample).
+        # It must stay on the exact ceil(q * n) rank rule through n == 5.
+        for quantile, expected in ((0.95, 50.0), (0.5, 30.0), (0.1, 10.0)):
+            estimator = OnlineQuantile(quantile)
+            for value in (10.0, 20.0, 30.0, 40.0, 50.0):
+                estimator.record(value)
+            assert estimator.value() == expected
+
+    def test_small_n_matches_latency_recorder_rank_rule(self):
+        samples = [ns(300), ns(100), ns(500), ns(200), ns(400)]
+        for quantile in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+            for n in range(1, 6):
+                estimator = OnlineQuantile(quantile)
+                recorder = LatencyRecorder()
+                for sample in samples[:n]:
+                    estimator.record(float(sample))
+                    recorder.record(sample)
+                assert estimator.value() == recorder.quantile_ps(quantile), (
+                    f"q={quantile} n={n}"
+                )
+
     def test_tracks_exact_quantile_on_seeded_stream(self):
         rng = np.random.RandomState(17)
         samples = rng.exponential(1000.0, size=5000)
