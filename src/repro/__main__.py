@@ -66,6 +66,10 @@ EXPERIMENTS = {
         "repro.experiments.chaos_recovery",
         "availability + placement tails vs injected node-crash rate",
     ),
+    "migration_recovery": (
+        "repro.experiments.migration_recovery",
+        "proactive evacuation (live migration) vs reactive failover",
+    ),
     "serve_slo": (
         "repro.experiments.serve_slo",
         "in-budget p99 attainment: SLO shedding vs queue-depth admission",
@@ -456,6 +460,25 @@ def _chaos_command(args: argparse.Namespace) -> int:
             )
             service = service_cls(cluster, make_policy(args.policy))
             service.install_faults(plan)
+            if args.autoscale:
+                from repro.fleet import AutoscaleConfig
+
+                if args.autoscale >= args.nodes:
+                    raise ReproError(
+                        f"--autoscale {args.autoscale} must leave at least "
+                        f"one active node (fleet has {args.nodes})"
+                    )
+                standby = tuple(
+                    f"node{i}"
+                    for i in range(args.nodes - args.autoscale, args.nodes)
+                )
+                service.install_autoscaler(
+                    AutoscaleConfig(standby_nodes=standby)
+                )
+            if args.drain_node:
+                service.schedule_op(
+                    ms(args.drain_at_ms), "drain", node_name=args.drain_node
+                )
             result = service.serve(generator.generate(args.requests))
             results = {
                 "plan": _to_jsonable(plan.to_dict()),
@@ -465,6 +488,10 @@ def _chaos_command(args: argparse.Namespace) -> int:
                 "summary": _to_jsonable(result.summary()),
                 "nodes": _to_jsonable(cluster.simulated_report()),
             }
+            if service.autoscaler is not None:
+                results["autoscaler"] = _to_jsonable(
+                    service.autoscaler.summary()
+                )
         else:  # single
             report = run_single_chaos(plan, window_ps=ms(args.window_ms))
             results = {
@@ -495,6 +522,13 @@ def _chaos_command(args: argparse.Namespace) -> int:
             },
             "results": results,
         }
+        # Only stamped when requested, so legacy envelopes stay
+        # byte-identical.
+        if args.autoscale:
+            envelope["params"]["autoscale_standby"] = args.autoscale
+        if args.drain_node:
+            envelope["params"]["drain_node"] = args.drain_node
+            envelope["params"]["drain_at_ms"] = args.drain_at_ms
         print(json.dumps(envelope, indent=2, sort_keys=True))
         return 0
     print(f"chaos[{args.experiment}]: plan {plan.name} (seed {plan.seed}, "
@@ -507,6 +541,8 @@ def _chaos_command(args: argparse.Namespace) -> int:
     if args.experiment == "fleet":
         print(f"outcomes: {results['outcomes']}")
         print(f"availability: {results['availability']:.4f}")
+        if "autoscaler" in results:
+            print(f"autoscaler: {results['autoscaler']['by_action']}")
     else:
         report = results["report"]
         print(f"victim progress: {report['victim_progress_units']} units")
@@ -838,6 +874,27 @@ def main(argv=None) -> int:
         default=1,
         metavar="N",
         help="shard fleet nodes across N worker processes (byte-identical results)",
+    )
+    chaos.add_argument(
+        "--autoscale",
+        type=int,
+        default=0,
+        metavar="N",
+        help="install the elastic autoscaler with the last N fleet nodes "
+        "parked as standby capacity (proactive evacuation of DEGRADED nodes)",
+    )
+    chaos.add_argument(
+        "--drain-node",
+        default=None,
+        metavar="NAME",
+        help="schedule a typed drain (cordon + live-migrate residents) of NAME",
+    )
+    chaos.add_argument(
+        "--drain-at-ms",
+        type=int,
+        default=5,
+        metavar="MS",
+        help="simulated time of the scheduled --drain-node, in milliseconds",
     )
     args = parser.parse_args(argv)
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from repro.cloud.library import AcceleratorLibrary, FpgaConfiguration
 from repro.errors import ConfigurationError, SchedulerError
 from repro.guest.api import GuestAccelerator
+from repro.hv.checkpoint import GuestCheckpoint, restore_guest
 from repro.hv.hypervisor import OptimusHypervisor
 from repro.hv.mdev import VirtualAccelerator
 from repro.mem.address import GB, MB
@@ -127,6 +128,48 @@ class CloudProvider:
             vm_bytes=vm_bytes,
             job_kwargs=job_kwargs,
         ).handle
+
+    def restore(
+        self,
+        checkpoint: GuestCheckpoint,
+        *,
+        physical_index: Optional[int] = None,
+    ) -> Tenant:
+        """Admit a migrated-in tenant from a :class:`GuestCheckpoint`.
+
+        The placement rule matches :meth:`place` (least-occupied slot of
+        the checkpoint's accelerator type), but the guest is rebuilt with
+        :func:`repro.hv.checkpoint.restore_guest` instead of probed fresh:
+        its pages land at the original GVAs and the shadow-paging
+        hypercalls are replayed against the new IOVA slice.
+        """
+        candidates = self.configuration.slots_of_type(checkpoint.accel_type)
+        if not candidates:
+            raise SchedulerError(
+                f"configuration has no {checkpoint.accel_type!r} slot; "
+                f"available: {sorted(set(self.configuration.slots))}"
+            )
+        if physical_index is None:
+            physical_index = min(candidates, key=self._occupancy)
+        elif physical_index not in candidates:
+            raise ConfigurationError(
+                f"slot {physical_index} is not a {checkpoint.accel_type!r} slot"
+            )
+        job = self.library.make_job(checkpoint.accel_type)
+        vm, vaccel = restore_guest(
+            self.hypervisor, checkpoint, job, physical_index=physical_index
+        )
+        handle = GuestAccelerator.adopt(self.hypervisor, vm, vaccel)
+        tenant = Tenant(
+            name=checkpoint.vm_name,
+            accel_type=checkpoint.accel_type,
+            physical_index=physical_index,
+            vaccel=vaccel,
+            handle=handle,
+        )
+        handle._on_disconnect = lambda: self._forget(tenant)
+        self.tenants.append(tenant)
+        return tenant
 
     def _forget(self, tenant: Tenant) -> None:
         if tenant in self.tenants:

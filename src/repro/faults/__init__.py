@@ -30,6 +30,7 @@ from repro.faults.plan import (
     FaultKind,
     FaultPlan,
     build_crash_plan,
+    build_degrade_crash_plan,
     resolve_plan,
 )
 from repro.faults.single import SinglePlatformChaos, run_single_chaos
@@ -48,6 +49,7 @@ __all__ = [
     "RunawayDmaJob",
     "SinglePlatformChaos",
     "build_crash_plan",
+    "build_degrade_crash_plan",
     "resolve_plan",
     "run_single_chaos",
 ]

@@ -164,13 +164,11 @@ class FleetFaultInjector:
         node = self.service.cluster.node(name)
         if node.health is NodeHealth.DEAD:
             return name, "noop", {"reason": "already dead"}
-        resolutions = self.service.apply_node_crash(name, now)
-        replaced = sum(1 for _, r in resolutions if r == "replaced")
-        failed = sum(1 for _, r in resolutions if r == "failed_by_fault")
+        report = self.service.ops.crash(name, now=now)
         return name, "crashed", {
-            "displaced": len(resolutions),
-            "replaced": replaced,
-            "failed_by_fault": failed,
+            "displaced": report.displaced,
+            "replaced": report.replaced,
+            "failed_by_fault": report.failed,
         }
 
     def _node_recover(self, event: FaultEvent, now: int):
@@ -180,7 +178,7 @@ class FleetFaultInjector:
         node = self.service.cluster.node(name)
         if node.health is not NodeHealth.DEAD:
             return name, "noop", {"reason": "not dead"}
-        self.service.apply_node_recover(name, now)
+        self.service.ops.recover(name, now=now)
         return name, "recovered", {}
 
     def _link_degrade(self, event: FaultEvent, now: int):

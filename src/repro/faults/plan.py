@@ -273,3 +273,46 @@ def build_crash_plan(
             FaultEvent(at_ps=at + outage_ps, kind=FaultKind.NODE_RECOVER, target=node)
         )
     return FaultPlan.of(events, seed=seed, name=f"crash-sweep-{n_crashes}")
+
+
+def build_degrade_crash_plan(
+    *,
+    n_faults: int,
+    n_nodes: int,
+    window_ps: int,
+    warning_ps: int,
+    outage_ps: int,
+    seed: int = 0,
+) -> FaultPlan:
+    """``n_faults`` failures that *announce themselves*: each target node
+    degrades at a seeded time, crashes ``warning_ps`` later, and recovers
+    ``outage_ps`` after the crash.
+
+    The degrade→crash gap is the window a proactive control loop (the
+    autoscaler's evacuation pass) has to live-migrate residents off the
+    sick node before the crash displaces them — the migration_recovery
+    experiment measures exactly that race.  A reactive-only baseline run
+    of the same plan eats the crash instead.
+    """
+    if n_faults < 0 or n_nodes < 1 or window_ps <= 0:
+        raise FaultPlanError("invalid degrade-crash-plan parameters")
+    if warning_ps <= 0 or outage_ps <= 0:
+        raise FaultPlanError("warning_ps and outage_ps must be positive")
+    rng = np.random.RandomState(seed)
+    events: List[FaultEvent] = []
+    for _ in range(n_faults):
+        at = int(rng.randint(1, window_ps))
+        node = f"node{int(rng.randint(n_nodes))}"
+        events.append(
+            FaultEvent(at_ps=at, kind=FaultKind.LINK_DEGRADE, target=node,
+                       params={"factor": 4.0})
+        )
+        events.append(
+            FaultEvent(at_ps=at + warning_ps, kind=FaultKind.NODE_CRASH,
+                       target=node)
+        )
+        events.append(
+            FaultEvent(at_ps=at + warning_ps + outage_ps,
+                       kind=FaultKind.NODE_RECOVER, target=node)
+        )
+    return FaultPlan.of(events, seed=seed, name=f"degrade-crash-{n_faults}")

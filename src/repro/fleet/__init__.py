@@ -40,9 +40,24 @@ from repro.fleet.admission import (
     ServeResult,
     request_jitter_rng,
 )
+from repro.fleet.autoscale import AutoscaleConfig, Autoscaler
 from repro.fleet.cluster import DEFAULT_TEMPLATES, FleetCluster
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.node import EvictedPlacement, FleetNode, NodeHealth, NodeSpec
+from repro.fleet.ops import (
+    CrashReport,
+    DrainReport,
+    FleetOps,
+    MigrationOutcome,
+    RebalanceReport,
+)
+from repro.fleet.outcomes import (
+    ACCEPTED_OUTCOMES,
+    SERVED_OUTCOMES,
+    Outcome,
+    Resolution,
+    rejected,
+)
 from repro.fleet.placement import (
     POLICIES,
     BestFit,
@@ -54,27 +69,39 @@ from repro.fleet.placement import (
 from repro.fleet.traffic import TenantRequest, TrafficGenerator, TrafficProfile
 
 __all__ = [
+    "ACCEPTED_OUTCOMES",
     "ADMIT",
     "AdmissionConfig",
     "AdmissionDecision",
     "AdmissionPolicy",
+    "AutoscaleConfig",
+    "Autoscaler",
     "BestFit",
     "ConfigAffinity",
+    "CrashReport",
     "DEFAULT_TEMPLATES",
+    "DrainReport",
     "EvictedPlacement",
     "FirstFit",
     "FleetCluster",
     "FleetMetrics",
     "FleetNode",
+    "FleetOps",
     "FleetService",
+    "MigrationOutcome",
     "NodeHealth",
     "NodeSpec",
+    "Outcome",
     "POLICIES",
     "PlacementPolicy",
+    "RebalanceReport",
+    "Resolution",
+    "SERVED_OUTCOMES",
     "ServeResult",
     "TenantRequest",
     "TrafficGenerator",
     "TrafficProfile",
     "make_policy",
+    "rejected",
     "request_jitter_rng",
 ]

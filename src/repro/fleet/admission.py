@@ -40,8 +40,9 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,9 +50,14 @@ from repro.errors import ConfigurationError
 from repro.fleet.cluster import FleetCluster
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.node import NodeHealth
+from repro.fleet.outcomes import ACCEPTED_OUTCOMES, Outcome, SERVED_OUTCOMES, rejected
 from repro.fleet.placement import PlacementPolicy
 from repro.fleet.traffic import TenantRequest
 from repro.sim.clock import ms, us
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.autoscale import AutoscaleConfig, Autoscaler
+    from repro.fleet.ops import FleetOps
 
 #: Control-plane cost of one placement, in simulated time: VM boot,
 #: mediated-device creation, window probe — dominated by trap-and-emulate
@@ -89,6 +95,10 @@ class AdmissionConfig:
     #: randomness) on top cannot perturb another request's delays.
     retry_jitter: float = 0.0
     jitter_seed: int = 0
+    #: Blackout window of one live migration: quiesce at a slice boundary,
+    #: checkpoint transfer, restore + shadow-table re-patch on the
+    #: destination.  Charged to the migrated session's departure schedule.
+    migration_cost_ps: int = us(150)
 
     def __post_init__(self) -> None:
         if self.queue_limit < 0 or self.max_retries < 0:
@@ -101,6 +111,8 @@ class AdmissionConfig:
             raise ConfigurationError("degraded slowdown must be >= 1")
         if not 0.0 <= self.retry_jitter < 1.0:
             raise ConfigurationError("retry jitter must be in [0, 1)")
+        if self.migration_cost_ps < 0:
+            raise ConfigurationError("migration cost must be >= 0")
 
     def backoff_for(self, attempt: int) -> int:
         """Delay before retry ``attempt`` (1-based), before jitter."""
@@ -207,9 +219,9 @@ class ServeResult:
         """Fraction of *accepted* requests that eventually completed."""
         accepted = completed = 0
         for outcome in self.outcomes.values():
-            if outcome in ("completed", "replaced_completed", "failed_by_fault"):
+            if outcome in ACCEPTED_OUTCOMES:
                 accepted += 1
-                if outcome != "failed_by_fault":
+                if outcome in SERVED_OUTCOMES:
                     completed += 1
         return completed / accepted if accepted else 1.0
 
@@ -240,6 +252,7 @@ class _Session:
     epoch: int
     depart_ps: int
     replaced: bool = False
+    migrated: bool = False
 
 
 class FleetService:
@@ -272,6 +285,8 @@ class FleetService:
         self._retry_rngs: Dict[int, np.random.RandomState] = {}
         self._arrivals = 0
         self._now = 0
+        self._ops: Optional["FleetOps"] = None
+        self.autoscaler: Optional["Autoscaler"] = None
 
     # -- fault installation -----------------------------------------------------------
 
@@ -282,6 +297,42 @@ class FleetService:
 
         self._injector = FleetFaultInjector(self, plan)
         return self._injector
+
+    # -- fleet operations (ISSUE 8) ---------------------------------------------------
+
+    @property
+    def ops(self) -> "FleetOps":
+        """The typed fleet-operations API bound to this service."""
+        # Lazy: repro.fleet.ops imports nothing from here at module scope,
+        # but constructing eagerly in __init__ would still couple every
+        # serving test to the ops module; bind on first use instead.
+        if self._ops is None:
+            from repro.fleet.ops import FleetOps
+
+            self._ops = FleetOps(self)
+        return self._ops
+
+    def install_autoscaler(
+        self, config: Optional["AutoscaleConfig"] = None
+    ) -> "Autoscaler":
+        """Attach an elastic-autoscaling control loop to the serving loop."""
+        from repro.fleet.autoscale import AutoscaleConfig, Autoscaler
+
+        self.autoscaler = Autoscaler(self, config or AutoscaleConfig())
+        return self.autoscaler
+
+    def schedule_op(self, at_ps: int, verb: str, **kwargs) -> None:
+        """Schedule a :class:`FleetOps` verb at ``at_ps`` simulated time.
+
+        The verb dispatches inside the serving loop exactly like any other
+        event, so e.g. ``schedule_op(ms(3), "drain", node_name="node1")``
+        is deterministic relative to arrivals and departures.
+        """
+        self._push(at_ps, "ops", (verb, kwargs))
+
+    def _on_ops(self, payload, now: int) -> None:
+        verb, kwargs = payload
+        getattr(self.ops, verb)(now=now, **kwargs)
 
     # -- event plumbing ---------------------------------------------------------------
 
@@ -331,7 +382,11 @@ class FleetService:
             now, _seq, kind, payload = heapq.heappop(self._heap)
             self._now = now
             self._advance_epoch(now)
+            # Utilization integrates occupancy *before* this event's state
+            # changes; the autoscaler reads the same pre-event snapshot.
             self.metrics.sample_utilization(now, self.cluster)
+            if self.autoscaler is not None:
+                self.autoscaler.maybe_tick(now)
             if kind == "arrival":
                 self._on_arrival(payload, now)
             elif kind == "retry":
@@ -340,8 +395,10 @@ class FleetService:
                 self._on_departure(payload, now)
             elif kind == "fault":
                 self._injector.apply(payload, now)
-            else:  # watchdog
+            elif kind == "watchdog":
                 self._on_watchdog(payload, now)
+            else:  # "ops": a scheduled FleetOps verb
+                self._on_ops(payload, now)
 
     def _post_drain(self) -> bool:
         """Hook after the heap empties; return ``True`` to keep serving.
@@ -445,11 +502,15 @@ class FleetService:
         del self._sessions[tenant_name]
         self.cluster.evict(tenant_name)
         self.metrics.record_departure(now_ps=now, tenant=tenant_name)
-        self._finish(
-            session.request,
-            "replaced_completed" if session.replaced else "completed",
-            now,
-        )
+        # Priority: replaced > migrated > completed — a session that was
+        # both crash-displaced and migrated reports the rarer event.
+        if session.replaced:
+            outcome = Outcome.REPLACED_COMPLETED.value
+        elif session.migrated:
+            outcome = Outcome.MIGRATED_COMPLETED.value
+        else:
+            outcome = Outcome.COMPLETED.value
+        self._finish(session.request, outcome, now)
         self._drain(now)
 
     def _on_watchdog(self, payload, now: int) -> None:
@@ -461,7 +522,7 @@ class FleetService:
         del self._sessions[tenant_name]
         self.cluster.evict(tenant_name)
         self._quarantined.add(tenant_name)
-        self._finish(session.request, "failed_by_fault", now)
+        self._finish(session.request, Outcome.FAILED_BY_FAULT.value, now)
         self.metrics.record_quarantine(now_ps=now, tenant=tenant_name)
         self._drain(now)
 
@@ -475,7 +536,7 @@ class FleetService:
 
     def _reject(self, request: TenantRequest, now: int, reason: str) -> None:
         self.metrics.record_rejection(now_ps=now, request=request, reason=reason)
-        self._finish(request, f"rejected_{reason}", now)
+        self._finish(request, rejected(reason), now)
 
     # -- terminal funnel and gateway hooks ---------------------------------------------
 
@@ -516,36 +577,23 @@ class FleetService:
         return session.node_name, session.physical_index
 
     def apply_node_crash(self, name: str, now: int) -> List[Tuple[str, str]]:
-        """Crash a node; re-place or cleanly fail every displaced session.
+        """Deprecated shim — route through :meth:`FleetOps.crash` instead.
 
-        Returns ``(tenant, resolution)`` pairs, resolution in
-        ``{"replaced", "failed_by_fault"}``.  Re-placement rides the same
-        typed evict/place contract as normal serving — no occupancy is
-        mutated directly.
+        The typed verb (``service.ops.crash(name, now=now)``) returns a
+        :class:`~repro.fleet.ops.CrashReport`; this wrapper flattens it
+        back into the legacy ``(tenant, resolution)`` pairs.
         """
-        displaced = self.cluster.crash_node(name)
-        resolutions: List[Tuple[str, str]] = []
-        for placement in displaced:
-            session = self._sessions.pop(placement.tenant, None)
-            if session is None:  # not ours (defensive; cannot happen today)
-                continue
-            remaining = max(0, session.depart_ps - now)
-            request = session.request
-            if self._try_place(
-                request, now, remaining_ps=remaining, replaced=True
-            ):
-                resolutions.append((placement.tenant, "replaced"))
-            else:
-                self._finish(request, "failed_by_fault", now)
-                self.metrics.record_fault_failure(
-                    now_ps=now, tenant=placement.tenant, reason="node_crash"
-                )
-                resolutions.append((placement.tenant, "failed_by_fault"))
-        return resolutions
+        warnings.warn(
+            "FleetService.apply_node_crash is deprecated; use "
+            "service.ops.crash(name, now=now) which returns a typed "
+            "CrashReport",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.ops.crash(name, now=now).resolutions)
 
     def apply_node_recover(self, name: str, now: int) -> None:
-        self.cluster.recover_node(name)
-        self._drain(now)  # recovered capacity unblocks the queue immediately
+        self.ops.recover(name, now=now)
 
     def arm_watchdog(self, tenant_name: str, now: int) -> bool:
         """A guest-hang fault landed on ``tenant_name``: its session will

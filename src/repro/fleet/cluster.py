@@ -10,10 +10,12 @@ Tenant names are unique fleet-wide so eviction needs no node handle.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.provider import Tenant
 from repro.errors import ConfigurationError, UnknownTenantError
+from repro.hv.checkpoint import GuestCheckpoint
 from repro.fleet.node import (
     DEFAULT_MAX_OVERSUB,
     EvictedPlacement,
@@ -48,6 +50,7 @@ class FleetCluster:
             raise ConfigurationError(f"duplicate node names: {names}")
         self.nodes: List[FleetNode] = list(nodes)
         self.tenant_nodes: Dict[str, FleetNode] = {}
+        self._registry: Optional[MetricRegistry] = None
 
     @classmethod
     def build(
@@ -105,11 +108,17 @@ class FleetCluster:
         """Place a tenant via ``policy``; ``None`` when the fleet is full.
 
         DEAD nodes are invisible to the policy — admission never routes
-        to a crashed node.
+        to a crashed node — and so are cordoned nodes (the ops-level
+        admission gate: draining or parked-standby nodes take no new
+        work while their residents keep serving).
         """
         if tenant_name in self.tenant_nodes:
             raise ConfigurationError(f"tenant {tenant_name!r} already placed")
-        alive = [n for n in self.nodes if n.health is not NodeHealth.DEAD]
+        alive = [
+            n
+            for n in self.nodes
+            if n.health is not NodeHealth.DEAD and not n.cordoned
+        ]
         if not alive:
             return None
         node = policy.choose(alive, accel_type)
@@ -130,6 +139,26 @@ class FleetCluster:
             raise UnknownTenantError(tenant_name, "in the fleet")
         return node.evict(tenant_name)
 
+    # -- checkpoint/restore (live migration) -------------------------------------------
+
+    def checkpoint_tenant(self, tenant_name: str) -> GuestCheckpoint:
+        """Quiesce and serialize one tenant wherever it lives in the fleet."""
+        node = self.tenant_nodes.get(tenant_name)
+        if node is None:
+            raise UnknownTenantError(tenant_name, "in the fleet")
+        return node.checkpoint_tenant(tenant_name)
+
+    def restore_tenant(self, node_name: str, checkpoint: GuestCheckpoint) -> Tenant:
+        """Restore a checkpointed tenant onto the named node."""
+        if checkpoint.vm_name in self.tenant_nodes:
+            raise ConfigurationError(
+                f"tenant {checkpoint.vm_name!r} already placed"
+            )
+        node = self.node(node_name)
+        tenant = node.restore_tenant(checkpoint)
+        self.tenant_nodes[tenant.name] = node
+        return tenant
+
     # -- node health ------------------------------------------------------------------
 
     def node(self, name: str) -> FleetNode:
@@ -138,7 +167,18 @@ class FleetCluster:
                 return node
         raise ConfigurationError(f"no node {name!r} in the fleet")
 
-    def crash_node(self, name: str) -> List[EvictedPlacement]:
+    def cordon(self, name: str) -> FleetNode:
+        """Exclude a node from new placements; residents keep serving."""
+        node = self.node(name)
+        node.cordon()
+        return node
+
+    def uncordon(self, name: str) -> FleetNode:
+        node = self.node(name)
+        node.uncordon()
+        return node
+
+    def _crash_node(self, name: str) -> List[EvictedPlacement]:
         """Kill a node; every resident is displaced through the typed
         evict contract (deterministic name order) and returned so the
         serving layer can re-place or cleanly fail each one."""
@@ -153,9 +193,29 @@ class FleetCluster:
         node.crash()
         return displaced
 
+    def crash_node(self, name: str) -> List[EvictedPlacement]:
+        """Deprecated direct mutation path — route through
+        :meth:`repro.fleet.ops.FleetOps.crash` instead, which returns a
+        typed :class:`~repro.fleet.ops.CrashReport` and keeps the serving
+        layer's session state consistent."""
+        warnings.warn(
+            "FleetCluster.crash_node is deprecated; use FleetOps.crash "
+            "(service.ops.crash) for typed, session-aware node failure",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._crash_node(name)
+
     def recover_node(self, name: str) -> FleetNode:
         node = self.node(name)
         node.recover()
+        # Re-register the node's metrics with any held cluster registry:
+        # recovery may hand the node a fresh provider/platform stack, and
+        # a registry built before the crash would keep reading the dead
+        # platform's instruments.
+        if self._registry is not None:
+            self._registry.unmount(f"{node.name}.")
+            self._registry.mount(f"{node.name}.", node.provider.platform.metrics)
         return node
 
     def health_report(self) -> Dict[str, str]:
@@ -183,12 +243,15 @@ class FleetCluster:
 
         Names are prefixed with the node, so one :meth:`snapshot` covers
         the whole fleet (``node0.iommu.iotlb``, ``node1.upi0.bw.to_mem``,
-        ...).
+        ...).  The registry is built once and cached; crash/recover cycles
+        keep it pointed at each node's *live* platform (see
+        :meth:`recover_node`), so holding a reference stays correct.
         """
-        registry = MetricRegistry("cluster")
-        for node in self.nodes:
-            registry.mount(f"{node.name}.", node.provider.platform.metrics)
-        return registry
+        if self._registry is None:
+            self._registry = MetricRegistry("cluster")
+            for node in self.nodes:
+                self._registry.mount(f"{node.name}.", node.provider.platform.metrics)
+        return self._registry
 
     def occupancy_report(self) -> Dict[str, Dict[int, Dict[str, object]]]:
         return {node.name: node.provider.occupancy_report() for node in self.nodes}

@@ -168,6 +168,79 @@ class FleetMetrics:
                 args={"tenant": request.tenant, "node": node_name,
                       "slot": physical_index})
 
+    def record_migration(
+        self,
+        *,
+        now_ps: int,
+        tenant: str,
+        source: str,
+        destination: str,
+        blackout_ps: int,
+        digest: str,
+    ) -> None:
+        """One successful live migration, with its bounded blackout span."""
+        self.fault_counters.bump("migrations")
+        self.trace.append(
+            f"{now_ps} {tenant} ~> {source}->{destination} migrated "
+            f"blackout={blackout_ps} ckpt={digest}"
+        )
+        if self._trace_scope is not None:
+            # A complete ("X") span so trace consumers can measure the
+            # blackout window; the category is the CI smoke contract.
+            self._trace_scope.complete(
+                "hv.migrate", now_ps, now_ps + blackout_ps,
+                tid=self._trace_tid_admission, cat="hv.migration",
+                args={"tenant": tenant, "source": source,
+                      "destination": destination, "ckpt": digest})
+
+    def record_migration_failure(
+        self, *, now_ps: int, tenant: str, reason: str
+    ) -> None:
+        """A migration attempt found no destination; the session stayed put."""
+        self.fault_counters.bump("migration_failures")
+        self.trace.append(f"{now_ps} {tenant} ~> migration failed ({reason})")
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.migrate_fail", now_ps, tid=self._trace_tid_admission,
+                cat="fault", args={"tenant": tenant, "reason": reason})
+
+    def record_cordon(self, *, now_ps: int, node: str, cordoned: bool) -> None:
+        """A node entered (or left) the cordoned admission gate."""
+        self.fault_counters.bump("cordons" if cordoned else "uncordons")
+        verb = "cordoned" if cordoned else "uncordoned"
+        self.trace.append(f"{now_ps} node {node} -> {verb}")
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.cordon", now_ps, tid=self._trace_tid_admission,
+                cat="fleet", args={"node": node, "cordoned": cordoned})
+
+    def record_drain(
+        self, *, now_ps: int, node: str, migrated: int, remaining: int
+    ) -> None:
+        """One drain verb finished over a node."""
+        self.fault_counters.bump("drains")
+        self.trace.append(
+            f"{now_ps} node {node} -> drained migrated={migrated} "
+            f"remaining={remaining}"
+        )
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.drain", now_ps, tid=self._trace_tid_admission,
+                cat="fleet", args={"node": node, "migrated": migrated,
+                                   "remaining": remaining})
+
+    def record_autoscale(
+        self, *, now_ps: int, action: str, node: str, reason: str
+    ) -> None:
+        """The autoscaler took one action (scale_up/scale_down/evacuate)."""
+        self.fault_counters.bump(f"autoscale_{action}")
+        self.trace.append(f"{now_ps} autoscale {action} {node} ({reason})")
+        if self._trace_scope is not None:
+            self._trace_scope.instant(
+                "fleet.autoscale", now_ps, tid=self._trace_tid_admission,
+                cat="fleet", args={"action": action, "node": node,
+                                   "reason": reason})
+
     def record_quarantine(self, *, now_ps: int, tenant: str) -> None:
         """The fleet watchdog benched a guest making no forward progress."""
         self.fault_counters.bump("quarantines")

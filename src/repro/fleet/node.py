@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.cloud.library import AcceleratorLibrary, FpgaConfiguration
 from repro.cloud.provider import CloudProvider, Tenant
 from repro.errors import ConfigurationError, SchedulerError, UnknownTenantError
+from repro.hv.checkpoint import GuestCheckpoint, checkpoint_guest
 from repro.mem.address import GB, MB
 from repro.platform.params import PlatformParams
 
@@ -88,6 +89,10 @@ class FleetNode:
         self.max_oversub = max_oversub
         self.tenants: Dict[str, Tenant] = {}
         self.health = NodeHealth.HEALTHY
+        #: Cordoned nodes take no *new* placements (admission skips them)
+        #: but keep serving their residents.  Ops verbs flip this; health
+        #: is orthogonal (a HEALTHY standby node parks cordoned).
+        self.cordoned = False
 
     # -- identity -------------------------------------------------------------------
 
@@ -204,7 +209,45 @@ class FleetNode:
         self.provider.evict(tenant)
         return placement
 
+    # -- checkpoint/restore (live migration) -------------------------------------------
+
+    def checkpoint_tenant(self, tenant_name: str) -> GuestCheckpoint:
+        """Quiesce one resident tenant and serialize it for migration.
+
+        The tenant stays resident — pair with :meth:`evict` once the
+        destination has the checkpoint (copy-then-switch, never
+        destroy-then-hope).
+        """
+        tenant = self.tenants.get(tenant_name)
+        if tenant is None:
+            raise UnknownTenantError(tenant_name, f"on node {self.name}")
+        return checkpoint_guest(
+            self.provider.hypervisor, tenant.vaccel, accel_type=tenant.accel_type
+        )
+
+    def restore_tenant(self, checkpoint: GuestCheckpoint) -> Tenant:
+        """Admit a migrated-in tenant from its checkpoint."""
+        if checkpoint.vm_name in self.tenants:
+            raise ConfigurationError(
+                f"tenant {checkpoint.vm_name!r} already on {self.name}"
+            )
+        if not self.can_place(checkpoint.accel_type):
+            raise SchedulerError(
+                f"node {self.name} has no headroom for {checkpoint.accel_type!r}"
+            )
+        tenant = self.provider.restore(checkpoint)
+        self.tenants[tenant.name] = tenant
+        return tenant
+
     # -- health transitions ------------------------------------------------------------
+
+    def cordon(self) -> None:
+        """Stop accepting new placements; residents keep serving."""
+        self.cordoned = True
+
+    def uncordon(self) -> None:
+        """Resume accepting placements."""
+        self.cordoned = False
 
     def crash(self) -> None:
         """Mark the node DEAD.  The cluster evicts residents first (typed

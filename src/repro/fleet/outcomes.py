@@ -1,0 +1,78 @@
+"""One vocabulary for every terminal outcome in the fleet (ISSUE 8).
+
+Before this module, the outcome strings lived as scattered literals:
+``ServeResult.outcome_counts`` keys, the fault injector's resolution
+tuples, the serve gateway's continue-chain test, and the chaos CLI's JSON
+envelopes each spelled their own subset.  Adding live migration (which
+introduces ``migrated_completed`` and the per-move resolutions
+``migrated`` / ``failed_no_destination``) is exactly the moment the
+vocabularies drift apart, so they are now defined once, here, and
+imported everywhere.
+
+Two small enums:
+
+* :class:`Outcome` — the *request-terminal* vocabulary: every request that
+  enters the serving loop ends in exactly one of these (or a
+  ``rejected_<reason>`` string built by :func:`rejected`).
+* :class:`Resolution` — the *per-session event* vocabulary used by fleet
+  operations (crash displacement, migration) to describe what happened to
+  one live session during the operation.
+
+Both subclass ``str`` so existing envelope/JSON comparisons — which pin
+byte-identical output across releases — keep seeing the exact same plain
+strings.  Dict keys built from these enums serialize unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Outcome(str, enum.Enum):
+    """Terminal outcome of one request through the serving loop."""
+
+    #: Session ran to its scheduled departure on its original node.
+    COMPLETED = "completed"
+    #: Session was displaced by a node crash, re-placed, and finished.
+    REPLACED_COMPLETED = "replaced_completed"
+    #: Session was live-migrated at least once and finished.
+    MIGRATED_COMPLETED = "migrated_completed"
+    #: An accepted session was terminated by an injected fault.
+    FAILED_BY_FAULT = "failed_by_fault"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+def rejected(reason: str) -> str:
+    """The ``rejected_<reason>`` outcome string for a shed/reject."""
+    return f"rejected_{reason}"
+
+
+#: Outcomes that mean the fleet actually served the session to completion.
+#: Priority when several apply: replaced > migrated > completed (a session
+#: that was both crashed-off and migrated reports the rarer event).
+SERVED_OUTCOMES = (
+    Outcome.COMPLETED.value,
+    Outcome.REPLACED_COMPLETED.value,
+    Outcome.MIGRATED_COMPLETED.value,
+)
+
+#: Outcomes of *accepted* requests (the availability denominator).
+ACCEPTED_OUTCOMES = SERVED_OUTCOMES + (Outcome.FAILED_BY_FAULT.value,)
+
+
+class Resolution(str, enum.Enum):
+    """What a fleet operation did with one live session."""
+
+    #: Crash displacement: the session found a slot on another node.
+    REPLACED = "replaced"
+    #: Crash displacement: no headroom anywhere; the session failed.
+    FAILED_BY_FAULT = "failed_by_fault"
+    #: Live migration: checkpointed, restored elsewhere, still running.
+    MIGRATED = "migrated"
+    #: Live migration: no eligible destination; the session stayed put.
+    FAILED_NO_DESTINATION = "failed_no_destination"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value

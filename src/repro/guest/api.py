@@ -76,6 +76,38 @@ class GuestAccelerator:
         #: the handle itself).
         self._on_disconnect: Optional[Callable[[], None]] = None
 
+    @classmethod
+    def adopt(
+        cls,
+        hypervisor: "OptimusHypervisor",
+        vm: "VirtualMachine",
+        vaccel: VirtualAccelerator,
+    ) -> "GuestAccelerator":
+        """Wrap an already-restored virtual accelerator in a fresh handle.
+
+        Used after :func:`repro.hv.checkpoint.restore_guest`: the window is
+        registered and the shadow mappings are replayed, so probing again
+        (which reserves a new window and reprograms BAR2) would be wrong.
+        Buffer-allocator history does not survive migration — pages the
+        source guest registered stay mapped, but the destination handle
+        starts with an empty allocation book.
+        """
+        handle = cls.__new__(cls)
+        handle.hypervisor = hypervisor
+        handle.vm = vm
+        handle.vaccel = vaccel
+        handle.driver = GuestFpgaDriver(hypervisor, vm, vaccel)
+        base = vaccel.window_base_gva or 0
+        stagger = 0
+        if vm.page_size == PAGE_SIZE_4K:
+            stagger = (vaccel.vaccel_id % 8) * 64 * PAGE_SIZE_4K
+        handle._buffers = RegionAllocator(
+            base + stagger, max(vaccel.window_size - stagger, 64), granule=64
+        )
+        handle.connected = True
+        handle._on_disconnect = None
+        return handle
+
     # -- connection lifecycle ---------------------------------------------------
 
     def __enter__(self) -> "GuestAccelerator":

@@ -1,5 +1,12 @@
 """The OPTIMUS hypervisor and its baselines."""
 
+from repro.hv.checkpoint import (
+    GuestCheckpoint,
+    checkpoint_guest,
+    guest_memory_digest,
+    quiesce_guest,
+    restore_guest,
+)
 from repro.hv.hypervisor import OptimusHypervisor
 from repro.hv.mdev import (
     BAR2_MAP_GPA,
@@ -28,9 +35,14 @@ __all__ = [
     "BAR2_SLICE_BASE",
     "BAR2_STATE_BUF",
     "BAR2_WINDOW_SIZE",
+    "GuestCheckpoint",
     "OptimusHypervisor",
     "PassthroughHypervisor",
+    "checkpoint_guest",
+    "guest_memory_digest",
     "migrate",
+    "quiesce_guest",
+    "restore_guest",
     "PhysicalAccelerator",
     "PriorityScheduler",
     "RoundRobinScheduler",

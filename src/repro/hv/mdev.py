@@ -67,6 +67,11 @@ class VirtualAccelerator:
         self.window_size: int = 0
         self.state_buffer_gva: Optional[int] = None
         self._staged_map_gva: Optional[int] = None
+        # GVAs the guest registered through the shadow-paging hypercall.
+        # The checkpoint/restore protocol replays these on the destination
+        # hypervisor to re-patch the sliced IO page table (§4.1 machinery,
+        # repro.hv.checkpoint).
+        self.mapped_gvas: set = set()
 
         # Application registers written while queued are postponed here and
         # replayed when the virtual accelerator is scheduled (§4.2).

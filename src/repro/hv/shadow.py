@@ -115,6 +115,7 @@ class ShadowPager:
         iova = vaccel.slice.iova_base + (gva - window_base)
         self.iommu.map(iova, hpa, writable=True)
         self.pages_mapped += 1
+        vaccel.mapped_gvas.add(gva)
         if self._trace is not None:
             self._trace.instant("hv.slice.map", self.iommu.engine.now,
                                 tid=self._trace_tid, cat="hv",

@@ -34,7 +34,7 @@ import multiprocessing
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.library import FpgaConfiguration
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownTenantError
 from repro.fleet.admission import FleetService
 from repro.fleet.cluster import DEFAULT_TEMPLATES
 from repro.fleet.node import DEFAULT_MAX_OVERSUB
@@ -181,6 +181,29 @@ class ShardedFleetCluster(ShadowCluster):
             if shard.buffer:
                 shard.op_queue.put(("ops", shard.buffer))
                 shard.buffer = []
+
+    def checkpoint_tenant(self, tenant_name: str):
+        """Quiesce + serialize one resident guest on its owning worker.
+
+        A synchronous round-trip to a *single* shard (the one owning the
+        tenant's node).  Pending ops for that shard are flushed first, and
+        SimpleQueue preserves order, so the worker applies every earlier
+        mutation before serializing.  Migration is rare relative to the
+        op stream, so the one-shard stall is acceptable.
+        """
+        node = self.tenant_nodes.get(tenant_name)
+        if node is None:
+            raise UnknownTenantError(tenant_name, "in the fleet")
+        self.flush()
+        shard = self._owner[node.index]
+        shard.op_queue.put(("checkpoint", "ckpt", node.index, tenant_name))
+        kind, _worker, token, checkpoint, worker_errors = shard.ack_queue.get()
+        assert kind == "checkpoint" and token == "ckpt"
+        if checkpoint is None:
+            raise RuntimeError(
+                "sharded fleet execution diverged:\n" + "\n".join(worker_errors)
+            )
+        return checkpoint
 
     def barrier(self, token: str = "sync") -> None:
         """Flush, then wait until every shard has applied everything.

@@ -25,11 +25,13 @@ loop touch; they are plain bookkeeping with no simulation imports.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.library import FpgaConfiguration
 from repro.errors import ConfigurationError, SchedulerError, UnknownTenantError
 from repro.fleet.node import DEFAULT_MAX_OVERSUB, EvictedPlacement, NodeHealth
+from repro.hv.checkpoint import GuestCheckpoint
 
 #: An op forwarded to the shard worker owning a node: (op name, payload).
 ShardOp = Tuple[str, tuple]
@@ -82,6 +84,7 @@ class ShadowNode:
         self.slot_occupancy: List[int] = [0] * configuration.n_slots
         self.tenants: Dict[str, ShadowTenant] = {}
         self.health = NodeHealth.HEALTHY
+        self.cordoned = False
         self._emit = emit or (lambda index, op: None)
 
     # -- identity ------------------------------------------------------------
@@ -186,7 +189,40 @@ class ShadowNode:
         self._emit(self.index, ("evict", (tenant_name,)))
         return placement
 
+    def restore_tenant(self, checkpoint: GuestCheckpoint) -> ShadowTenant:
+        """Mirror of :meth:`FleetNode.restore_tenant`: same slot rule as
+        ``place``; the checkpoint itself ships to the owning worker."""
+        if checkpoint.vm_name in self.tenants:
+            raise ConfigurationError(
+                f"tenant {checkpoint.vm_name!r} already on {self.name}"
+            )
+        if not self.can_place(checkpoint.accel_type):
+            raise SchedulerError(
+                f"node {self.name} has no headroom for {checkpoint.accel_type!r}"
+            )
+        candidates = self.configuration.slots_of_type(checkpoint.accel_type)
+        physical_index = min(candidates, key=self.slot_occupancy.__getitem__)
+        self.slot_occupancy[physical_index] += 1
+        tenant = ShadowTenant(
+            checkpoint.vm_name, checkpoint.accel_type, physical_index, self
+        )
+        self.tenants[checkpoint.vm_name] = tenant
+        self._emit(
+            self.index,
+            ("restore_tenant", (checkpoint, physical_index,
+                                self.slot_occupancy[physical_index] > 1)),
+        )
+        return tenant
+
     # -- health transitions -----------------------------------------------------
+
+    def cordon(self) -> None:
+        self.cordoned = True
+        self._emit(self.index, ("cordon", ()))
+
+    def uncordon(self) -> None:
+        self.cordoned = False
+        self._emit(self.index, ("uncordon", ()))
 
     def crash(self) -> None:
         self.health = NodeHealth.DEAD
@@ -258,7 +294,11 @@ class ShadowCluster:
     def place(self, tenant_name: str, accel_type: str, policy):
         if tenant_name in self.tenant_nodes:
             raise ConfigurationError(f"tenant {tenant_name!r} already placed")
-        alive = [n for n in self.nodes if n.health is not NodeHealth.DEAD]
+        alive = [
+            n
+            for n in self.nodes
+            if n.health is not NodeHealth.DEAD and not n.cordoned
+        ]
         if not alive:
             return None
         node = policy.choose(alive, accel_type)
@@ -274,6 +314,16 @@ class ShadowCluster:
             raise UnknownTenantError(tenant_name, "in the fleet")
         return node.evict(tenant_name)
 
+    def restore_tenant(self, node_name: str, checkpoint: GuestCheckpoint):
+        if checkpoint.vm_name in self.tenant_nodes:
+            raise ConfigurationError(
+                f"tenant {checkpoint.vm_name!r} already placed"
+            )
+        node = self.node(node_name)
+        tenant = node.restore_tenant(checkpoint)
+        self.tenant_nodes[checkpoint.vm_name] = node
+        return tenant
+
     # -- node health ---------------------------------------------------------------
 
     def node(self, name: str) -> ShadowNode:
@@ -282,7 +332,27 @@ class ShadowCluster:
                 return node
         raise ConfigurationError(f"no node {name!r} in the fleet")
 
+    def cordon(self, name: str) -> ShadowNode:
+        node = self.node(name)
+        node.cordon()
+        return node
+
+    def uncordon(self, name: str) -> ShadowNode:
+        node = self.node(name)
+        node.uncordon()
+        return node
+
     def crash_node(self, name: str) -> List[EvictedPlacement]:
+        warnings.warn(
+            "FleetCluster.crash_node is deprecated; use FleetOps.crash "
+            "(service.ops.crash) so displaced sessions are resolved through "
+            "the typed fleet-operations API",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._crash_node(name)
+
+    def _crash_node(self, name: str) -> List[EvictedPlacement]:
         node = self.node(name)
         displaced = []
         for tenant in sorted(node.tenants):

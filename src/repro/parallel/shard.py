@@ -6,7 +6,8 @@ One worker process per shard.  At startup it builds the *real*
 across S shards build in parallel), then loops over operation batches the
 coordinator's shadow bookkeeping emitted:
 
-``place / evict / crash / recover / degrade / restore / bump_auditor``
+``place / evict / restore_tenant / cordon / uncordon / crash / recover /
+degrade / restore / bump_auditor``
 
 Ops arrive stamped with the epoch (simulated fleet time) they belong to
 and are applied strictly in emission order per node — the same order the
@@ -46,6 +47,9 @@ def shard_worker_main(
     node order.  Messages on ``op_queue``:
 
     * ``("ops", [(global_index, epoch_ps, op, payload), ...])`` — apply
+    * ``("checkpoint", token, global_index, tenant_name)`` — quiesce and
+      serialize one resident guest; ack ``("checkpoint", worker_index,
+      token, checkpoint_or_None, errors)``
     * ``("sync", token)`` — barrier ack: ``("sync", token, errors)``
     * ``("gather", token)`` — per-node reports (simulated time, metric
       snapshots, occupancy)
@@ -104,6 +108,19 @@ def shard_worker_main(
                         f"node {global_index} op {op}{payload!r} at epoch "
                         f"{epoch_ps}:\n{traceback.format_exc()}"
                     )
+        elif kind == "checkpoint":
+            _kind, token, global_index, tenant_name = message
+            checkpoint = None
+            try:
+                checkpoint = nodes[global_index].checkpoint_tenant(tenant_name)
+            except BaseException:
+                errors.append(
+                    f"node {global_index} checkpoint of {tenant_name!r}:\n"
+                    f"{traceback.format_exc()}"
+                )
+            ack_queue.put(
+                ("checkpoint", worker_index, token, checkpoint, list(errors))
+            )
         elif kind == "sync":
             ack_queue.put(("sync", worker_index, message[1], list(errors)))
         elif kind == "gather":
@@ -141,6 +158,23 @@ def _apply(node, op: str, payload: tuple) -> None:
             )
     elif op == "evict":
         node.evict(payload[0])
+    elif op == "restore_tenant":
+        checkpoint, predicted_index, predicted_oversub = payload
+        tenant = node.restore_tenant(checkpoint)
+        if (
+            tenant.physical_index != predicted_index
+            or tenant.oversubscribed != predicted_oversub
+        ):
+            raise RuntimeError(
+                "shadow bookkeeping diverged from the provider: "
+                f"restored tenant {checkpoint.vm_name!r} predicted slot "
+                f"{predicted_index} (oversub={predicted_oversub}), got "
+                f"{tenant.physical_index} (oversub={tenant.oversubscribed})"
+            )
+    elif op == "cordon":
+        node.cordon()
+    elif op == "uncordon":
+        node.uncordon()
     elif op == "crash":
         node.crash()
     elif op == "recover":

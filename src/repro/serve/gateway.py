@@ -49,7 +49,7 @@ from repro.sim.stats import Counters, LatencyRecorder
 from repro.telemetry import MetricRegistry, current_tracer
 
 #: Terminal outcomes that let a chain continue to its next session.
-_CONTINUE_OUTCOMES = ("completed", "replaced_completed")
+_CONTINUE_OUTCOMES = ("completed", "replaced_completed", "migrated_completed")
 
 
 class SessionHandle:

@@ -61,6 +61,20 @@ class MetricRegistry:
         self._mounts.append((prefix, child))
         return child
 
+    def unmount(self, prefix: str) -> bool:
+        """Drop the mount registered under exactly ``prefix``.
+
+        Returns whether a mount was removed.  Used when the subsystem
+        behind a prefix is replaced (a recovered fleet node with a fresh
+        platform stack) so a long-held parent registry can swap in the
+        live child instead of reading dead instruments.
+        """
+        for index, (mounted_prefix, _child) in enumerate(self._mounts):
+            if mounted_prefix == prefix:
+                del self._mounts[index]
+                return True
+        return False
+
     # -- lookup ------------------------------------------------------------
 
     def get(self, name: str) -> Any:

@@ -274,6 +274,25 @@ class TestMetrics:
         with pytest.raises(ConfigurationError):
             cluster.evict("a")
 
+    def test_recover_node_keeps_cached_registry_live(self):
+        cluster = FleetCluster.build(2)
+        registry = cluster.metrics_registry()
+        assert registry is cluster.metrics_registry()  # built once, cached
+        assert any(k.startswith("node0.") for k in registry.snapshot())
+        cluster._crash_node("node0")
+        cluster.recover_node("node0")
+        # ISSUE 8 satellite: a registry held across crash/recover reads the
+        # *rebuilt* node's instruments instead of the dead platform's.
+        assert any(k.startswith("node0.") for k in registry.snapshot())
+        assert registry is cluster.metrics_registry()
+        mounted = registry.snapshot()
+        fresh = cluster.node("node0").provider.platform.metrics.snapshot()
+        assert {
+            k.split(".", 1)[1]: v
+            for k, v in mounted.items()
+            if k.startswith("node0.")
+        } == fresh
+
 
 class TestEvictContract:
     """ISSUE 4: eviction is a typed contract the failover path rides."""
