@@ -18,6 +18,8 @@ Usage::
     python -m repro serve --trace sessions.json --shards 2 --json
     python -m repro capacity --tenants 1000000 --load 6.0 # analytic planner
     python -m repro capacity --mode optimus --tenants 5000 --json
+    python -m repro fuzz --seed 7 --count 20              # differential fuzzing
+    python -m repro fuzz --replay repro-seed7-idx3-abc.json
 
 ``run`` exits non-zero if any experiment raises (and keeps going through
 the rest of ``all``, reporting every failure at the end).
@@ -32,11 +34,12 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
-import math
 import os
 import sys
 import time
 import traceback
+
+from repro.envelope import emit_envelope, to_jsonable
 
 #: Exit codes shared by every subcommand (also shown in ``--help``).
 EXIT_CODES = """\
@@ -81,17 +84,9 @@ EXPERIMENTS = {
 }
 
 
-def _to_jsonable(value):
-    """Strict-JSON form of experiment results (tables, dicts, scalars)."""
-    if hasattr(value, "to_dict"):
-        return _to_jsonable(value.to_dict())
-    if isinstance(value, dict):
-        return {str(k): _to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_to_jsonable(v) for v in value]
-    if isinstance(value, float) and not math.isfinite(value):
-        return None  # NaN/inf cells (e.g. infeasible grid points)
-    return value
+# Back-compat alias: the conversion lives in repro.envelope now, shared
+# by every subcommand's --json path.
+_to_jsonable = to_jsonable
 
 
 def _run_one(key: str, jobs: int = 1, *, entry: str = "main"):
@@ -186,9 +181,9 @@ def _fleet_command(args: argparse.Namespace) -> int:
         results["nodes"] = _to_jsonable(node_report)
         # ``--shards`` is an execution detail, not a parameter: results are
         # byte-identical at any shard count, so it stays out of the envelope.
-        envelope = {
-            "experiment": "fleet",
-            "params": {
+        emit_envelope(
+            "fleet",
+            {
                 "nodes": args.nodes,
                 "load": args.load,
                 "seed": args.seed,
@@ -198,9 +193,8 @@ def _fleet_command(args: argparse.Namespace) -> int:
                 "retries": args.retries,
                 "max_oversub": args.max_oversub,
             },
-            "results": results,
-        }
-        print(json.dumps(envelope, indent=2, sort_keys=True))
+            results,
+        )
     else:
         print(
             f"fleet: {args.nodes} nodes ({cluster.total_slots} slots), "
@@ -286,9 +280,9 @@ def _serve_command(args: argparse.Namespace) -> int:
         # at any shard count, so it stays out of the params block.  The
         # trace is identified by digest, not file path: synthesizing a
         # trace and replaying its saved copy are the same experiment.
-        envelope = {
-            "experiment": "serve",
-            "params": {
+        emit_envelope(
+            "serve",
+            {
                 "trace": trace.digest(),
                 "sessions": sessions,
                 "seed": args.seed,
@@ -303,9 +297,8 @@ def _serve_command(args: argparse.Namespace) -> int:
                 "retries": args.retries,
                 "quick": args.quick,
             },
-            "results": results,
-        }
-        print(json.dumps(envelope, indent=2, sort_keys=True))
+            results,
+        )
         return 0
     trace_info = results["trace"]
     print(
@@ -360,9 +353,9 @@ def _capacity_command(args: argparse.Namespace) -> int:
         print(f"capacity: error: {error}", file=sys.stderr)
         return 2
     if args.json:
-        envelope = {
-            "experiment": "capacity",
-            "params": {
+        emit_envelope(
+            "capacity",
+            {
                 "mode": args.mode,
                 "tenants": args.tenants,
                 "nodes": args.nodes,
@@ -373,9 +366,8 @@ def _capacity_command(args: argparse.Namespace) -> int:
                 "bootstrap": args.bootstrap,
                 "goodput": not args.no_goodput,
             },
-            "results": _to_jsonable(results),
-        }
-        print(json.dumps(envelope, indent=2, sort_keys=True))
+            results,
+        )
         return 0
     print(
         f"capacity[{args.mode}/{results['engine']}]: {args.tenants} tenants, "
@@ -506,30 +498,26 @@ def _chaos_command(args: argparse.Namespace) -> int:
         if sharded and cluster is not None:
             cluster.close()
     if args.json:
-        envelope = {
-            "experiment": "chaos",
-            "params": {
-                "mode": args.experiment,
-                "plan": args.plan,
-                "seed": plan.seed,
-                "nodes": args.nodes,
-                "requests": args.requests,
-                "load": args.load,
-                "traffic_seed": args.traffic_seed,
-                "policy": args.policy,
-                "window_ms": args.window_ms,
-                "reference": args.reference,
-            },
-            "results": results,
+        params = {
+            "mode": args.experiment,
+            "plan": args.plan,
+            "seed": plan.seed,
+            "nodes": args.nodes,
+            "requests": args.requests,
+            "load": args.load,
+            "traffic_seed": args.traffic_seed,
+            "policy": args.policy,
+            "window_ms": args.window_ms,
+            "reference": args.reference,
         }
         # Only stamped when requested, so legacy envelopes stay
         # byte-identical.
         if args.autoscale:
-            envelope["params"]["autoscale_standby"] = args.autoscale
+            params["autoscale_standby"] = args.autoscale
         if args.drain_node:
-            envelope["params"]["drain_node"] = args.drain_node
-            envelope["params"]["drain_at_ms"] = args.drain_at_ms
-        print(json.dumps(envelope, indent=2, sort_keys=True))
+            params["drain_node"] = args.drain_node
+            params["drain_at_ms"] = args.drain_at_ms
+        emit_envelope("chaos", params, results)
         return 0
     print(f"chaos[{args.experiment}]: plan {plan.name} (seed {plan.seed}, "
           f"digest {plan.digest()})")
@@ -552,6 +540,69 @@ def _chaos_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_command(args: argparse.Namespace) -> int:
+    """Constrained-random differential fuzzing over the whole stack."""
+    from repro.errors import ReproError
+    from repro.scenario import FuzzConfig, replay, run_fuzz
+
+    def narrate(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    try:
+        if args.replay:
+            result = replay(args.replay)
+            narrate(
+                f"fuzz: replayed {result.scenario.digest()} "
+                f"({result.scenario.kind}) -> "
+                f"{'ok' if result.ok else 'FAIL'}"
+            )
+            if args.json:
+                emit_envelope(
+                    "fuzz",
+                    {"replay": args.replay, "digest": result.scenario.digest()},
+                    result.to_dict(),
+                )
+            else:
+                for failure in result.failures:
+                    print(f"  {failure}")
+            return 0 if result.ok else 1
+        config = FuzzConfig(
+            seed=args.seed,
+            count=args.count,
+            kinds=args.kinds,
+            shrink_failures=not args.no_shrink,
+            save_failures=args.save_failures,
+        )
+        report = run_fuzz(config, narrate=narrate)
+    except (ReproError, OSError, ValueError) as error:
+        print(f"fuzz: error: {error}", file=sys.stderr)
+        return 2
+    results = report.to_dict()
+    if args.json:
+        emit_envelope(
+            "fuzz",
+            {
+                "seed": args.seed,
+                "count": args.count,
+                "kinds": sorted(config.generator().kinds),
+                "shrink": not args.no_shrink,
+            },
+            results,
+        )
+    else:
+        print(
+            f"fuzz: {results['scenarios']} scenarios (seed {args.seed}): "
+            f"{results['passed']} passed, {results['failed']} failed "
+            f"{results['by_kind']}"
+        )
+        for failure in results["failures"]:
+            print(f"  [{failure['index']}] {failure['kind']} "
+                  f"{failure['digest']}: {failure['failures']}")
+        for path in report.saved_paths:
+            print(f"  reproducer: {path}")
+    return 0 if report.ok else 1
+
+
 def _trace_command(args: argparse.Namespace) -> int:
     from repro.telemetry import install_tracer, uninstall_tracer
 
@@ -570,16 +621,15 @@ def _trace_command(args: argparse.Namespace) -> int:
         uninstall_tracer()
     categories = sorted(tracer.span_categories())
     if args.json:
-        envelope = {
-            "experiment": args.experiment,
-            "params": {"quick": args.quick, "output": str(path)},
-            "results": {
+        emit_envelope(
+            args.experiment,
+            {"quick": args.quick, "output": str(path)},
+            {
                 "trace_file": str(path),
                 "events": tracer.event_count,
                 "span_categories": categories,
             },
-        }
-        print(json.dumps(envelope, indent=2, sort_keys=True))
+        )
     else:
         print(
             f"trace: wrote {path} ({tracer.event_count} events; "
@@ -828,11 +878,16 @@ def main(argv=None) -> int:
         choices=["fleet", "single"],
         help="fleet = serving loop under faults; single = one hypervisor",
     )
+    from repro.faults.plan import preset_names
+
     chaos.add_argument(
         "--plan",
         default="single-node-crash",
         metavar="PRESET|FILE",
-        help="fault-plan preset name or JSON plan file",
+        # Single-sourced from the fault-plan registry, like --mode above:
+        # registering a preset adds it here and to the fuzzer's draws.
+        help="fault-plan preset name or JSON plan file "
+        f"(presets: {', '.join(preset_names())})",
     )
     chaos.add_argument(
         "--seed", type=int, default=None, help="override the plan's seed"
@@ -896,7 +951,55 @@ def main(argv=None) -> int:
         metavar="MS",
         help="simulated time of the scheduled --drain-node, in milliseconds",
     )
+    from repro.scenario import kind_names
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="constrained-random differential fuzzing of the whole stack",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (scenario i is a "
+        "pure function of (seed, i))"
+    )
+    fuzz.add_argument(
+        "--count", type=int, default=5, metavar="N",
+        help="number of scenarios to draw and run"
+    )
+    fuzz.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated scenario kinds to draw from "
+        f"(default: all; kinds: {', '.join(kind_names())})",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures as drawn, without delta-debugging them down "
+        "to minimal reproducers",
+    )
+    fuzz.add_argument(
+        "--save-failures",
+        metavar="DIR",
+        default=None,
+        help="write each (shrunk) failing scenario as a canonical-JSON "
+        "reproducer file under DIR",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="re-run one saved reproducer through the oracle instead of "
+        "fuzzing",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="emit the campaign envelope as JSON"
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "fuzz":
+        return _fuzz_command(args)
 
     if args.command == "fleet":
         return _fleet_command(args)
@@ -964,15 +1067,9 @@ def main(argv=None) -> int:
                     else:
                         failed.append(key)
             if as_json:
-                envelope = {
-                    "experiment": "all",
-                    "params": params,
-                    "results": {
-                        "tables": _to_jsonable(results),
-                        "failed": failed,
-                    },
-                }
-                print(json.dumps(envelope, indent=2, sort_keys=True))
+                emit_envelope(
+                    "all", params, {"tables": results, "failed": failed}
+                )
             if failed:
                 print(
                     f"FAILED experiments: {', '.join(failed)}",
@@ -985,12 +1082,7 @@ def main(argv=None) -> int:
         if not ok:
             return 1
         if as_json:
-            envelope = {
-                "experiment": args.experiment,
-                "params": params,
-                "results": _to_jsonable(result),
-            }
-            print(json.dumps(envelope, indent=2, sort_keys=True))
+            emit_envelope(args.experiment, params, result)
         return 0
     finally:
         if cache is not None:

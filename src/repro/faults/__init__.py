@@ -25,17 +25,22 @@ from repro.faults.guests import (
 )
 from repro.faults.injector import FaultLog, FaultRecord, FleetFaultInjector
 from repro.faults.plan import (
+    FAULT_PLAN_PRESETS,
     PRESETS,
     FaultEvent,
     FaultKind,
     FaultPlan,
+    PlanPreset,
     build_crash_plan,
     build_degrade_crash_plan,
+    preset_names,
+    register_preset,
     resolve_plan,
 )
 from repro.faults.single import SinglePlatformChaos, run_single_chaos
 
 __all__ = [
+    "FAULT_PLAN_PRESETS",
     "FaultEvent",
     "FaultKind",
     "FaultLog",
@@ -45,11 +50,14 @@ __all__ = [
     "HANG_PROFILE",
     "HangJob",
     "PRESETS",
+    "PlanPreset",
     "RUNAWAY_PROFILE",
     "RunawayDmaJob",
     "SinglePlatformChaos",
     "build_crash_plan",
     "build_degrade_crash_plan",
+    "preset_names",
+    "register_preset",
     "resolve_plan",
     "run_single_chaos",
 ]

@@ -9,12 +9,18 @@ order and touches nothing else stochastic.
 
 Plans come from three places, all normalized here:
 
-* **presets** (:data:`PRESETS`) — named scenarios used by tests, CI, and
-  ``python -m repro chaos --plan <preset>``;
+* **presets** (:data:`FAULT_PLAN_PRESETS`) — a typed registry of named
+  scenarios used by tests, CI, the scenario fuzzer, and
+  ``python -m repro chaos --plan <preset>``; fixed shapes and
+  parameterized builders (:func:`build_crash_plan`,
+  :func:`build_degrade_crash_plan`) register through the same
+  :func:`register_preset` door, so the CLI choices and the fuzzer's
+  enumeration derive from one table (mirroring ``STACK_MODES``);
 * **JSON files** (:meth:`FaultPlan.from_file`) — the CLI accepts a path
   wherever it accepts a preset name;
-* **builders** (:func:`build_crash_plan`) — parameterized plans for
-  sweeps such as ``experiments/chaos_recovery.py``.
+* **builders** (:func:`build_crash_plan`) — callable directly with
+  explicit parameters for sweeps such as
+  ``experiments/chaos_recovery.py``.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -227,24 +233,74 @@ def _mixed() -> FaultPlan:
     )
 
 
-PRESETS = {
-    "single-node-crash": _single_node_crash,
-    "crash-quick": _crash_quick,
-    "link-flap": _link_flap,
-    "rogue-guest": _rogue_guest,
-    "mixed": _mixed,
-}
+@dataclass(frozen=True)
+class PlanPreset:
+    """One registered fault-plan preset.
+
+    ``build()`` returns the plan; parameterized presets (registered
+    builders) accept keyword overrides on top of their defaults, fixed
+    presets accept none.  ``scopes`` says where the plan is meaningful —
+    ``"fleet"`` (node crashes need a cluster) and/or ``"single"`` (guest
+    and link faults against one hypervisor) — which is what the scenario
+    fuzzer enumerates when drawing a plan for a given scenario kind.
+    """
+
+    name: str
+    factory: Callable[..., FaultPlan]
+    description: str
+    scopes: Tuple[str, ...] = ("fleet", "single")
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+    def build(self, **overrides: object) -> FaultPlan:
+        if overrides and not self.defaults:
+            raise FaultPlanError(
+                f"preset {self.name!r} is a fixed plan and takes no "
+                f"parameters (got {sorted(overrides)})"
+            )
+        if self.defaults:
+            kwargs = {**self.defaults, **overrides}
+            return self.factory(**kwargs)
+        return self.factory()
 
 
-def resolve_plan(spec: str) -> FaultPlan:
-    """A preset name, or a path to a JSON plan file."""
-    maker = PRESETS.get(spec)
-    if maker is not None:
-        return maker()
+#: The single source of truth for named fault plans.  CLI ``--plan``
+#: choices, ``resolve_plan`` error messages, and the scenario fuzzer's
+#: plan enumeration all derive from this registry.
+FAULT_PLAN_PRESETS: Dict[str, PlanPreset] = {}
+
+
+def register_preset(preset: PlanPreset) -> PlanPreset:
+    """Register a preset; the name must be new (no silent shadowing)."""
+    if preset.name in FAULT_PLAN_PRESETS:
+        raise FaultPlanError(f"fault-plan preset {preset.name!r} already registered")
+    FAULT_PLAN_PRESETS[preset.name] = preset
+    return preset
+
+
+def preset_names(scope: str = "") -> List[str]:
+    """Registered preset names, optionally filtered to one scope."""
+    return [
+        name
+        for name, preset in sorted(FAULT_PLAN_PRESETS.items())
+        if not scope or scope in preset.scopes
+    ]
+
+
+def resolve_plan(spec: str, **overrides: object) -> FaultPlan:
+    """A preset name (with optional builder overrides), or a path to a
+    JSON plan file."""
+    preset = FAULT_PLAN_PRESETS.get(spec)
+    if preset is not None:
+        return preset.build(**overrides)
+    if overrides:
+        raise FaultPlanError(
+            f"plan files take no parameter overrides (got {sorted(overrides)})"
+        )
     if os.path.exists(spec):
         return FaultPlan.from_file(spec)
     raise FaultPlanError(
-        f"no fault-plan preset or file {spec!r}; presets: {sorted(PRESETS)}"
+        f"no fault-plan preset or file {spec!r}; "
+        f"presets: {sorted(FAULT_PLAN_PRESETS)}"
     )
 
 
@@ -316,3 +372,72 @@ def build_degrade_crash_plan(
                        kind=FaultKind.NODE_RECOVER, target=node)
         )
     return FaultPlan.of(events, seed=seed, name=f"degrade-crash-{n_faults}")
+
+
+# -- registration ----------------------------------------------------------------
+#
+# Fixed shapes and parameterized builders go through the same door; the
+# chaos CLI and the scenario fuzzer enumerate this table, never a
+# hand-maintained list.
+
+register_preset(PlanPreset(
+    name="single-node-crash",
+    factory=_single_node_crash,
+    description="node0 dies mid-serve, comes back 30 ms later",
+    scopes=("fleet",),
+))
+register_preset(PlanPreset(
+    name="crash-quick",
+    factory=_crash_quick,
+    description="the same crash shape compressed for CI smoke runs",
+    scopes=("fleet",),
+))
+register_preset(PlanPreset(
+    name="link-flap",
+    factory=_link_flap,
+    description="two degrade/restore cycles on the CPU-FPGA links",
+))
+register_preset(PlanPreset(
+    name="rogue-guest",
+    factory=_rogue_guest,
+    description="a hung guest plus a runaway-DMA guest on seeded slots",
+))
+register_preset(PlanPreset(
+    name="mixed",
+    factory=_mixed,
+    description="links, rogues, a crash, and an IOTLB thrash interleaved",
+))
+register_preset(PlanPreset(
+    name="crash-sweep",
+    factory=build_crash_plan,
+    description="seeded node crashes inside a window (build_crash_plan)",
+    scopes=("fleet",),
+    defaults={
+        "n_crashes": 2,
+        "n_nodes": 3,
+        "window_ps": ms(20),
+        "outage_ps": ms(8),
+        "seed": 0,
+    },
+))
+register_preset(PlanPreset(
+    name="degrade-crash",
+    factory=build_degrade_crash_plan,
+    description="degrade-then-crash failures that announce themselves "
+    "(build_degrade_crash_plan)",
+    scopes=("fleet",),
+    defaults={
+        "n_faults": 1,
+        "n_nodes": 3,
+        "window_ps": ms(10),
+        "warning_ps": ms(4),
+        "outage_ps": ms(8),
+        "seed": 0,
+    },
+))
+
+#: Back-compat alias (pre-registry shape): name -> zero-argument maker.
+#: New code should read :data:`FAULT_PLAN_PRESETS` instead.
+PRESETS: Dict[str, Callable[[], FaultPlan]] = {
+    name: preset.build for name, preset in FAULT_PLAN_PRESETS.items()
+}

@@ -42,7 +42,7 @@ import dataclasses
 import heapq
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -287,6 +287,13 @@ class FleetService:
         self._now = 0
         self._ops: Optional["FleetOps"] = None
         self.autoscaler: Optional["Autoscaler"] = None
+        #: Optional ``(verb, report, now_ps)`` callback invoked after every
+        #: *scheduled* :class:`FleetOps` verb with the typed report the verb
+        #: returned.  The serving loop otherwise discards these reports
+        #: (nothing in the loop consumes them), so this is the supported way
+        #: to observe e.g. a mid-serve drain's ``DrainReport`` — the fuzz
+        #: oracle records migration checkpoint digests through it.
+        self.op_observer: Optional[Callable[[str, object, int], None]] = None
 
     # -- fault installation -----------------------------------------------------------
 
@@ -332,7 +339,9 @@ class FleetService:
 
     def _on_ops(self, payload, now: int) -> None:
         verb, kwargs = payload
-        getattr(self.ops, verb)(now=now, **kwargs)
+        report = getattr(self.ops, verb)(now=now, **kwargs)
+        if self.op_observer is not None:
+            self.op_observer(verb, report, now)
 
     # -- event plumbing ---------------------------------------------------------------
 

@@ -198,8 +198,11 @@ class ArrivalTrace:
         }
 
     def digest(self) -> str:
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        # Single-sourced canonical form (same bytes as the historical
+        # inline dumps call — digests are stable across releases).
+        from repro.envelope import canonical_json
+
+        return hashlib.sha256(canonical_json(self.to_dict()).encode()).hexdigest()[:16]
 
     def write_json(self, path) -> Path:
         path = Path(path)

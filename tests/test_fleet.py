@@ -326,7 +326,9 @@ class TestEvictContract:
         from repro.fleet import NodeHealth
 
         cluster = policy_cluster()
-        displaced = cluster.crash_node("A")
+        # Cluster-level displacement semantics: use the internal mutation
+        # directly (the public, session-aware path is FleetOps.crash).
+        displaced = cluster._crash_node("A")
         assert sorted(p.tenant for p in displaced) == ["m1", "m2"]
         assert all(p.node_name == "A" for p in displaced)
         node_a = cluster.node("A")

@@ -178,6 +178,23 @@ class TestFleetOpsVerbs:
         with pytest.warns(DeprecationWarning):
             cluster.crash_node("node1")
 
+    def test_op_observer_receives_typed_reports(self):
+        # The serving loop discards scheduled-verb reports; op_observer is
+        # the supported way to see them (the fuzz oracle records migration
+        # checkpoint digests through it).
+        _cluster, service, generator = make_fleet()
+        seen = []
+        service.op_observer = lambda verb, report, now_ps: seen.append(
+            (verb, report, now_ps)
+        )
+        service.schedule_op(ms(3), "drain", node_name="node0")
+        service.serve(generator.generate(60))
+        assert [verb for verb, _r, _n in seen] == ["drain"]
+        verb, report, now_ps = seen[0]
+        assert now_ps == ms(3)
+        assert report.node == "node0" and report.clean
+        assert all(outcome.checkpoint_digest for outcome in report.migrated)
+
 
 def run_cli(capsys, *argv):
     code = cli.main(list(argv))
