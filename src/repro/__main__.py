@@ -134,6 +134,27 @@ def _run_one(key: str, jobs: int = 1, *, entry: str = "main"):
     return True, result
 
 
+def _maybe_dump_opstream(
+    args: argparse.Namespace, cluster, sharded: bool
+) -> None:
+    """Write the op-stream ledger to ``--opstream-stats`` (side channel).
+
+    The stats file is diagnostic output, never part of a result envelope:
+    it records codec/lookahead/rollback accounting for the bench harness
+    and the CI proxy gate.  A serial run writes an empty object so
+    callers can treat the file's existence uniformly.
+    """
+    path = getattr(args, "opstream_stats", None)
+    if not path:
+        return
+    import json
+
+    stats = cluster.opstream_stats() if sharded else {}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _fleet_command(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.fleet import (
@@ -145,14 +166,19 @@ def _fleet_command(args: argparse.Namespace) -> int:
         make_policy,
     )
 
-    sharded = args.shards > 1
+    # One node (or one shard) degenerates to the serial path: forking a
+    # pool to stream ops to a single worker only adds IPC overhead.
+    sharded = args.shards > 1 and args.nodes > 1
     cluster = None
     try:
         if sharded:
             from repro.parallel import ShardedFleetCluster, ShardedFleetService
 
             cluster = ShardedFleetCluster.build(
-                args.nodes, shards=args.shards, max_oversub=args.max_oversub
+                args.nodes,
+                shards=args.shards,
+                max_oversub=args.max_oversub,
+                lookahead=args.lookahead,
             )
             service_cls = ShardedFleetService
         else:
@@ -170,6 +196,7 @@ def _fleet_command(args: argparse.Namespace) -> int:
         )
         result = service.serve(generator.generate(args.requests))
         node_report = cluster.simulated_report()
+        _maybe_dump_opstream(args, cluster, sharded)
     except ReproError as error:
         print(f"fleet: error: {error}", file=sys.stderr)
         return 2
@@ -179,8 +206,9 @@ def _fleet_command(args: argparse.Namespace) -> int:
     if args.json:
         results = _to_jsonable(result.summary())
         results["nodes"] = _to_jsonable(node_report)
-        # ``--shards`` is an execution detail, not a parameter: results are
-        # byte-identical at any shard count, so it stays out of the envelope.
+        # ``--shards``/``--lookahead`` are execution details, not parameters:
+        # results are byte-identical at any shard count or speculation depth,
+        # so they stay out of the envelope.
         emit_envelope(
             "fleet",
             {
@@ -227,13 +255,15 @@ def _serve_command(args: argparse.Namespace) -> int:
         800 if args.quick else 2000
     )
     nodes = args.nodes if args.nodes is not None else (2 if args.quick else 3)
-    sharded = args.shards > 1
+    sharded = args.shards > 1 and nodes > 1
     cluster = None
     try:
         if sharded:
             from repro.parallel import ShardedFleetCluster
 
-            cluster = ShardedFleetCluster.build(nodes, shards=args.shards)
+            cluster = ShardedFleetCluster.build(
+                nodes, shards=args.shards, lookahead=args.lookahead
+            )
             service_cls = GatewayShardedFleetService
         else:
             cluster = FleetCluster.build(nodes)
@@ -268,6 +298,7 @@ def _serve_command(args: argparse.Namespace) -> int:
         )
         gateway = Gateway(service, trace)
         result = gateway.run()
+        _maybe_dump_opstream(args, cluster, sharded)
     except ReproError as error:
         print(f"serve: error: {error}", file=sys.stderr)
         return 2
@@ -276,8 +307,9 @@ def _serve_command(args: argparse.Namespace) -> int:
             cluster.close()
     results = _to_jsonable(result.to_dict())
     if args.json:
-        # ``--shards`` is an execution detail: envelopes are byte-identical
-        # at any shard count, so it stays out of the params block.  The
+        # ``--shards``/``--lookahead`` are execution details: envelopes are
+        # byte-identical at any shard count or speculation depth, so they
+        # stay out of the params block.  The
         # trace is identified by digest, not file path: synthesizing a
         # trace and replaying its saved copy are the same experiment.
         emit_envelope(
@@ -423,7 +455,9 @@ def _chaos_command(args: argparse.Namespace) -> int:
     from repro.sim.clock import ms
 
     cluster = None
-    sharded = args.experiment == "fleet" and args.shards > 1
+    sharded = (
+        args.experiment == "fleet" and args.shards > 1 and args.nodes > 1
+    )
     try:
         plan = resolve_plan(args.plan)
         if args.seed is not None:
@@ -440,7 +474,9 @@ def _chaos_command(args: argparse.Namespace) -> int:
             if sharded:
                 from repro.parallel import ShardedFleetCluster, ShardedFleetService
 
-                cluster = ShardedFleetCluster.build(args.nodes, shards=args.shards)
+                cluster = ShardedFleetCluster.build(
+                    args.nodes, shards=args.shards, lookahead=args.lookahead
+                )
                 service_cls = ShardedFleetService
             else:
                 cluster = FleetCluster.build(args.nodes)
@@ -484,6 +520,7 @@ def _chaos_command(args: argparse.Namespace) -> int:
                 results["autoscaler"] = _to_jsonable(
                     service.autoscaler.summary()
                 )
+            _maybe_dump_opstream(args, cluster, sharded)
         else:  # single
             report = run_single_chaos(plan, window_ps=ms(args.window_ms))
             results = {
@@ -743,6 +780,20 @@ def main(argv=None) -> int:
         metavar="N",
         help="shard fleet nodes across N worker processes (byte-identical results)",
     )
+    fleet.add_argument(
+        "--lookahead",
+        type=int,
+        default=0,
+        metavar="K",
+        help="let shard workers speculate K epochs ahead of the coordinator "
+        "(0 = no speculation; byte-identical results at any depth)",
+    )
+    fleet.add_argument(
+        "--opstream-stats",
+        metavar="FILE",
+        default=None,
+        help="write the sharded op-stream/speculation ledger as JSON",
+    )
 
     serve = sub.add_parser(
         "serve", help="replay a session trace through the SLO-aware gateway"
@@ -820,6 +871,20 @@ def main(argv=None) -> int:
         default=1,
         metavar="N",
         help="shard fleet nodes across N worker processes (byte-identical results)",
+    )
+    serve.add_argument(
+        "--lookahead",
+        type=int,
+        default=0,
+        metavar="K",
+        help="let shard workers speculate K epochs ahead of the coordinator "
+        "(0 = no speculation; byte-identical results at any depth)",
+    )
+    serve.add_argument(
+        "--opstream-stats",
+        metavar="FILE",
+        default=None,
+        help="write the sharded op-stream/speculation ledger as JSON",
     )
 
     from repro.experiments.harness import STACK_MODES
@@ -929,6 +994,20 @@ def main(argv=None) -> int:
         default=1,
         metavar="N",
         help="shard fleet nodes across N worker processes (byte-identical results)",
+    )
+    chaos.add_argument(
+        "--lookahead",
+        type=int,
+        default=0,
+        metavar="K",
+        help="let shard workers speculate K epochs ahead of the coordinator "
+        "(0 = no speculation; byte-identical results at any depth)",
+    )
+    chaos.add_argument(
+        "--opstream-stats",
+        metavar="FILE",
+        default=None,
+        help="write the sharded op-stream/speculation ledger as JSON",
     )
     chaos.add_argument(
         "--autoscale",

@@ -221,6 +221,17 @@ class FleetCluster:
     def health_report(self) -> Dict[str, str]:
         return {node.name: node.health.value for node in self.nodes}
 
+    def note_event(self, kind: str, now: int) -> str:
+        """Label the event context subsequent mutations run under.
+
+        Returns the previous label so nested contexts (an autoscaler tick
+        inside a departure dispatch, a migration inside a drain) can
+        restore it.  The serial cluster needs nothing here; the sharded
+        executor uses the label to attribute speculation rollbacks to a
+        conflict class (DESIGN.md §9).
+        """
+        return ""
+
     # -- fault-side plumbing ----------------------------------------------------------
 
     def bump_auditor(

@@ -167,6 +167,27 @@ class FleetOps:
         service = self.service
         now = self._now(now)
         cluster = service.cluster
+        # Conflict-class attribution: everything this verb emits (the
+        # checkpoint, the source eviction, the destination placement) runs
+        # under the "migration" label, then the enclosing context — e.g.
+        # the "autoscale" of an autoscaler-driven drain — is restored.
+        previous_label = cluster.note_event("migration", now)
+        try:
+            return self._migrate(
+                tenant_name, now=now, destination=destination
+            )
+        finally:
+            cluster.note_event(previous_label, now)
+
+    def _migrate(
+        self,
+        tenant_name: str,
+        *,
+        now: int,
+        destination: Optional[str],
+    ) -> MigrationOutcome:
+        service = self.service
+        cluster = service.cluster
         source = cluster.tenant_nodes.get(tenant_name)
         if source is None:
             raise UnknownTenantError(tenant_name, "in the fleet")

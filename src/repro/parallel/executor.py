@@ -9,28 +9,36 @@ stacks live in shard worker processes:
   :class:`~repro.parallel.shadow.ShadowCluster` bookkeeping (no IPC on
   the serving loop's hot path);
 * every mutation is emitted as an op into a per-shard buffer and flushed
-  asynchronously at **epoch boundaries** (whenever the fleet's simulated
-  clock advances), stamped with the epoch it belongs to — the
-  conservative protocol: a worker may safely apply everything at or
-  before the epoch because cross-node interactions (admission, placement,
-  failover) are resolved coordinator-side before the ops are emitted;
+  asynchronously as binary frames (:mod:`repro.parallel.opstream`),
+  stamped with the epoch it belongs to.  With ``lookahead == 0`` a
+  flush happens at every epoch boundary (the conservative protocol);
+  with ``lookahead = K`` flushes coalesce up to K epochs per frame
+  *and* the coordinator grants shard workers permission to run granted
+  evictions up to K epochs ahead of the serving clock
+  (:mod:`repro.parallel.speculate`) — committed by suppression when the
+  speculated departure arrives on schedule, unwound by a typed rollback
+  op travelling ahead of any conflicting truth in the same FIFO stream;
 * observation points (:meth:`gather`, :meth:`merge_traces`,
-  :meth:`close`) are the only barriers.
+  :meth:`close`) are the only barriers; :meth:`gather` is memoized on
+  the op stream (three summary surfaces cost one round trip) and ships
+  metric *deltas*, not full snapshots.
 
 Because all admission/placement/fault *decisions* are taken against the
 shadow — which replicates the provider's slot selection and the node
 health machine exactly, and is verified op-by-op by the workers — serve
 results, metric summaries, traces, and chaos envelopes are byte-identical
-to a serial run by construction.
+to a serial run by construction, at any ``(shards, lookahead)``.
 
 :class:`ShardedFleetService` is the drop-in serving loop: a
-:class:`~repro.fleet.admission.FleetService` whose epoch hook flushes op
-batches and whose serve() ends with a verification barrier + trace merge.
+:class:`~repro.fleet.admission.FleetService` whose epoch hook forwards
+the clock (and itself, for speculation-window scans) to the cluster and
+whose serve() ends with a verification barrier + trace merge.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import pickle
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.library import FpgaConfiguration
@@ -38,22 +46,29 @@ from repro.errors import ConfigurationError, UnknownTenantError
 from repro.fleet.admission import FleetService
 from repro.fleet.cluster import DEFAULT_TEMPLATES
 from repro.fleet.node import DEFAULT_MAX_OVERSUB
+from repro.parallel.opstream import FrameEncoder, OpStreamStats
+from repro.parallel.pool import fork_context
 from repro.parallel.shadow import ShadowCluster, ShadowNode
 from repro.parallel.shard import shard_worker_main
+from repro.parallel.speculate import SpeculationController, conflict_class
 from repro.telemetry.tracer import current_tracer
 
-
-def _fork_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        return multiprocessing.get_context("spawn")
+#: With coalescing enabled, ship a frame early once this many ops have
+#: buffered — bounds worker idle time behind one oversized frame.
+COALESCE_OP_LIMIT = 64
 
 
 class _Shard:
     """Coordinator-side handle of one worker process."""
 
-    __slots__ = ("index", "process", "op_queue", "ack_queue", "buffer")
+    __slots__ = (
+        "index",
+        "process",
+        "op_queue",
+        "ack_queue",
+        "buffer",
+        "encoder",
+    )
 
     def __init__(self, index: int, process, op_queue, ack_queue) -> None:
         self.index = index
@@ -62,6 +77,9 @@ class _Shard:
         self.ack_queue = ack_queue
         #: Ops accumulated since the last flush: (node, epoch, op, payload).
         self.buffer: List[Tuple[int, int, str, tuple]] = []
+        #: Stateful binary codec for this stream (epoch delta chain +
+        #: string intern table persist across frames).
+        self.encoder = FrameEncoder()
 
 
 class ShardedFleetCluster(ShadowCluster):
@@ -74,13 +92,32 @@ class ShardedFleetCluster(ShadowCluster):
         shards: int,
         params=None,
         max_oversub: int = DEFAULT_MAX_OVERSUB,
+        lookahead: int = 0,
+        codec: str = "binary",
     ) -> None:
         if shards < 1:
             raise ConfigurationError("need at least one shard")
+        if lookahead < 0:
+            raise ConfigurationError("lookahead must be >= 0")
+        if codec not in ("binary", "pickle"):
+            raise ConfigurationError(f"unknown op-stream codec {codec!r}")
         n_nodes = len(specs)
         self.shards = min(shards, n_nodes)
+        self.lookahead = lookahead
+        self._codec = codec
         self._closed = False
         self._epoch_ps = 0
+        self._epochs_since_flush = 0
+        self._service = None
+        self._event_context = ""
+        self._speculation = SpeculationController(lookahead)
+        self._stats = OpStreamStats()
+        self._stats.codec = codec
+        self._stats.lookahead = lookahead
+        #: Memoized :meth:`gather` result; invalidated by any op emission.
+        self._gather_cache: Optional[Dict[int, Dict[str, object]]] = None
+        #: Per-node folded metric snapshots (delta-gather accumulator).
+        self._node_metrics: Dict[int, Dict[str, object]] = {}
         self._tracer = current_tracer()
         # Reserve the pid block the serial build would have consumed (one
         # engine scope per node, in node order) *before* any other scope
@@ -90,7 +127,7 @@ class ShardedFleetCluster(ShadowCluster):
         else:
             self._first_pid = 0
 
-        context = _fork_context()
+        context = fork_context()
         self._shards: List[_Shard] = []
         assignments: List[List[Tuple[int, str, Tuple[str, ...]]]] = [
             [] for _ in range(self.shards)
@@ -111,6 +148,7 @@ class ShardedFleetCluster(ShadowCluster):
                     self._first_pid,
                     op_queue,
                     ack_queue,
+                    codec,
                 ),
                 daemon=True,
                 name=f"repro-shard-{shard_index}",
@@ -153,6 +191,8 @@ class ShardedFleetCluster(ShadowCluster):
         templates: Optional[Sequence[Sequence[str]]] = None,
         params=None,
         max_oversub: int = DEFAULT_MAX_OVERSUB,
+        lookahead: int = 0,
+        codec: str = "binary",
     ) -> "ShardedFleetCluster":
         """Same fleet :meth:`FleetCluster.build` produces, sharded S ways."""
         if n_nodes < 1:
@@ -161,43 +201,211 @@ class ShardedFleetCluster(ShadowCluster):
         specs = [
             (f"node{i}", templates[i % len(templates)]) for i in range(n_nodes)
         ]
-        return cls(specs, shards=shards, params=params, max_oversub=max_oversub)
+        return cls(
+            specs,
+            shards=shards,
+            params=params,
+            max_oversub=max_oversub,
+            lookahead=lookahead,
+            codec=codec,
+        )
+
+    # -- speculation-aware epoch contract ------------------------------------
+
+    def note_event(self, kind: str, now: int) -> str:
+        """Record the event context ops are being emitted under.
+
+        Conflict-class attribution for rollbacks (DESIGN.md §9): the
+        serving loop labels each dispatched event; nested operations
+        (autoscaler ticks, migrations) refine the label and restore the
+        previous one, which this returns.
+        """
+        previous = self._event_context
+        self._event_context = kind
+        return previous
+
+    def opstream_stats(self) -> Dict[str, object]:
+        """The op-stream/speculation ledger for this run (side channel:
+        never part of a result envelope — ``--shards``/``--lookahead``
+        are execution details)."""
+        return self._stats.to_dict()
 
     # -- op stream ----------------------------------------------------------
 
     def _emit(self, node_index: int, op: Tuple[str, tuple]) -> None:
         shard = self._owner[node_index]
-        shard.buffer.append((node_index, self._epoch_ps, op[0], op[1]))
+        name, payload = op
+        self._gather_cache = None
+        if self._speculation.active:
+            verdict = self._speculation.intercept(
+                node_index, name, payload, self._epoch_ps
+            )
+            if verdict is not None:
+                what, tenants = verdict
+                if what == "commit":
+                    # The worker already applied this eviction at grant
+                    # time; arriving on schedule, it commits by omission.
+                    self._stats.commits += 1
+                    return
+                self._issue_rollback(
+                    shard,
+                    node_index,
+                    tenants,
+                    conflict_class(self._event_context),
+                )
+        shard.buffer.append((node_index, self._epoch_ps, name, payload))
 
-    def advance_epoch(self, epoch_ps: int) -> None:
-        """The fleet clock moved: flush every completed epoch's ops."""
-        if epoch_ps != self._epoch_ps:
+    def _issue_rollback(
+        self,
+        shard: _Shard,
+        node_index: int,
+        tenants: Tuple[str, ...],
+        reason: str,
+    ) -> None:
+        """Unwind ``tenants``' speculative evictions on one node.
+
+        Grants whose ``spec_evict`` is still sitting in the unflushed
+        buffer are scrubbed in place (the worker never saw them); the
+        rest get a ``spec_rollback`` op that travels ahead of whatever
+        conflicting op the caller emits next.
+        """
+        scrubbed = set()
+        doomed = set(tenants)
+        kept = []
+        for entry in shard.buffer:
+            if (
+                entry[0] == node_index
+                and entry[2] == "spec_evict"
+                and entry[3][0] in doomed
+                and entry[3][0] not in scrubbed
+            ):
+                scrubbed.add(entry[3][0])
+                continue
+            kept.append(entry)
+        shard.buffer = kept
+        self._stats.scrubbed += len(scrubbed)
+        shipped = tuple(t for t in tenants if t not in scrubbed)
+        if shipped:
+            shard.buffer.append(
+                (node_index, self._epoch_ps, "spec_rollback", (shipped,))
+            )
+            self._stats.record_rollback(reason, len(shipped))
+
+    def _rollback_outstanding(self, reason: str) -> None:
+        """Cancel every outstanding grant (observation-point safety: a
+        granted departure is a *future* event the serial loop has not
+        processed, so no observed state may include its effects)."""
+        for node_index in self._speculation.nodes_with_grants():
+            tenants = self._speculation.cancel_node(node_index)
+            if tenants:
+                self._issue_rollback(
+                    self._owner[node_index], node_index, tenants, reason
+                )
+                self._gather_cache = None
+
+    def advance_epoch(self, epoch_ps: int, *, service=None) -> None:
+        """The fleet clock moved: flush completed epochs' ops.
+
+        ``service`` (passed by :class:`ShardedFleetService`) is what the
+        speculation grant scan reads the event heap through; without it
+        lookahead degrades gracefully to coalesced-flush-only.
+        """
+        if service is not None:
+            self._service = service
+        if epoch_ps == self._epoch_ps:
+            return
+        self._epoch_ps = epoch_ps
+        self._epochs_since_flush += 1
+        if self.lookahead == 0 or self._epochs_since_flush >= self.lookahead:
             self.flush()
-            self._epoch_ps = epoch_ps
+        elif any(len(s.buffer) >= COALESCE_OP_LIMIT for s in self._shards):
+            self.flush()
 
-    def flush(self) -> None:
-        """Ship buffered ops to their shards (asynchronous, no barrier)."""
+    def flush(self, *, grant: bool = True) -> None:
+        """Grant safe speculation, then ship buffered ops (no barrier).
+
+        Observation points pass ``grant=False``: they have just rolled
+        back (or are about to inspect) speculative state, and granting in
+        the same breath could re-speculate the very eviction they
+        cancelled — e.g. re-evicting a tenant one op before its
+        checkpoint round-trip.  Grants only ride epoch-advance flushes.
+        """
+        if grant:
+            self._grant_speculation()
+        shipped = False
         for shard in self._shards:
             if shard.buffer:
-                shard.op_queue.put(("ops", shard.buffer))
-                shard.buffer = []
+                self._ship(shard)
+                shipped = True
+        if shipped:
+            self._stats.flushes += 1
+        self._epochs_since_flush = 0
+
+    def _grant_speculation(self) -> None:
+        if self.lookahead <= 0 or self._service is None or self._closed:
+            return
+        for node_index, tenant, depart_ps in self._speculation.eligible(
+            self._service, self
+        ):
+            self._speculation.grant(node_index, tenant, depart_ps)
+            shard = self._owner[node_index]
+            shard.buffer.append((node_index, depart_ps, "spec_evict", (tenant,)))
+            self._stats.grants += 1
+            self._gather_cache = None
+
+    def _ship(self, shard: _Shard) -> None:
+        batch = shard.buffer
+        shard.buffer = []
+        if self._codec == "binary":
+            payload: object = shard.encoder.encode(batch)
+            self._stats.frame_bytes += len(payload)  # type: ignore[arg-type]
+        else:  # legacy pickle codec, kept selectable for honest benches
+            payload = batch
+            self._stats.frame_bytes += len(
+                pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        shard.op_queue.put(("ops", payload))
+        self._stats.messages += 1
+        self._stats.frames += 1
+        self._stats.ops += len(batch)
+
+    def _post(self, shard: _Shard, message: tuple) -> None:
+        shard.op_queue.put(message)
+        self._stats.messages += 1
+
+    def _await_ack(self, shard: _Shard):
+        start = time.perf_counter()
+        ack = shard.ack_queue.get()
+        self._stats.barrier_stall_s += time.perf_counter() - start
+        self._stats.stall_waits += 1
+        return ack
 
     def checkpoint_tenant(self, tenant_name: str):
         """Quiesce + serialize one resident guest on its owning worker.
 
         A synchronous round-trip to a *single* shard (the one owning the
-        tenant's node).  Pending ops for that shard are flushed first, and
-        SimpleQueue preserves order, so the worker applies every earlier
-        mutation before serializing.  Migration is rare relative to the
-        op stream, so the one-shard stall is acceptable.
+        tenant's node).  Outstanding grants on that node are rolled back
+        first (the worker may have speculatively evicted the very guest
+        being checkpointed), pending ops flushed, and SimpleQueue
+        preserves order, so the worker applies every earlier mutation
+        before serializing.
         """
         node = self.tenant_nodes.get(tenant_name)
         if node is None:
             raise UnknownTenantError(tenant_name, "in the fleet")
-        self.flush()
+        tenants = self._speculation.cancel_node(node.index)
+        if tenants:
+            self._issue_rollback(
+                self._owner[node.index],
+                node.index,
+                tenants,
+                conflict_class(self._event_context or "migration"),
+            )
+        self.flush(grant=False)
+        self._gather_cache = None
         shard = self._owner[node.index]
-        shard.op_queue.put(("checkpoint", "ckpt", node.index, tenant_name))
-        kind, _worker, token, checkpoint, worker_errors = shard.ack_queue.get()
+        self._post(shard, ("checkpoint", "ckpt", node.index, tenant_name))
+        kind, _worker, token, checkpoint, worker_errors = self._await_ack(shard)
         assert kind == "checkpoint" and token == "ckpt"
         if checkpoint is None:
             raise RuntimeError(
@@ -211,12 +419,13 @@ class ShardedFleetCluster(ShadowCluster):
         Raises with the worker's traceback if any op failed or any
         placement diverged from the shadow's prediction.
         """
-        self.flush()
+        self._rollback_outstanding("observation")
+        self.flush(grant=False)
         errors: List[str] = []
         for shard in self._shards:
-            shard.op_queue.put(("sync", token))
+            self._post(shard, ("sync", token))
         for shard in self._shards:
-            kind, worker_index, got, worker_errors = shard.ack_queue.get()
+            kind, worker_index, got, worker_errors = self._await_ack(shard)
             assert kind == "sync" and got == token
             errors.extend(worker_errors)
         if errors:
@@ -227,24 +436,58 @@ class ShardedFleetCluster(ShadowCluster):
     # -- observation points (barriers) --------------------------------------
 
     def gather(self) -> Dict[int, Dict[str, object]]:
-        """Per-node reports from the real stacks, in global node order."""
-        self.flush()
+        """Per-node reports from the real stacks, in global node order.
+
+        Memoized on the op stream: consecutive gathers with no
+        intervening emission (the envelope builders call three summary
+        surfaces back-to-back) cost one round trip total.  Metric
+        snapshots arrive as deltas against the previous gather and are
+        folded into the coordinator's accumulator.
+
+        The legacy pickle codec deliberately reproduces the old
+        protocol end to end — no memoization, full snapshots — so
+        benches comparing the codecs compare whole protocols.
+        """
+        if self._codec == "binary" and self._gather_cache is not None:
+            self._stats.gather_cache_hits += 1
+            return self._gather_cache
+        self._rollback_outstanding("observation")
+        self.flush(grant=False)
+        self._stats.gathers += 1
         reports: Dict[int, Dict[str, object]] = {}
         errors: List[str] = []
         for shard in self._shards:
-            shard.op_queue.put(("gather", "gather"))
+            self._post(shard, ("gather", "gather"))
         for shard in self._shards:
             kind, _worker, _token, shard_reports, worker_errors = (
-                shard.ack_queue.get()
+                self._await_ack(shard)
             )
             assert kind == "gather"
-            reports.update(shard_reports)
+            for index, report in shard_reports.items():
+                report["metrics"] = self._fold_metrics(index, report["metrics"])
+                reports[index] = report
             errors.extend(worker_errors)
         if errors:
             raise RuntimeError(
                 "sharded fleet execution diverged:\n" + "\n".join(errors)
             )
-        return {index: reports[index] for index in sorted(reports)}
+        result = {index: reports[index] for index in sorted(reports)}
+        self._gather_cache = result
+        return result
+
+    def _fold_metrics(self, index: int, shipped) -> Dict[str, object]:
+        """Fold one node's (full | delta) metric shipment into the
+        accumulated snapshot and return the merged view."""
+        tag = shipped[0]
+        if tag == "full":
+            merged = dict(shipped[1])
+        else:
+            merged = dict(self._node_metrics.get(index, {}))
+            merged.update(shipped[1])
+            for name in shipped[2]:
+                merged.pop(name, None)
+        self._node_metrics[index] = merged
+        return merged
 
     def simulated_report(self) -> Dict[str, Dict[str, object]]:
         """Per-node simulated time, keyed by node name (envelope shape)."""
@@ -277,12 +520,13 @@ class ShardedFleetCluster(ShadowCluster):
         renumbered into the reserved pid block (serial pid order)."""
         if self._tracer is None:
             return
-        self.flush()
+        self._rollback_outstanding("observation")
+        self.flush(grant=False)
         for shard in self._shards:
-            shard.op_queue.put(("trace", "trace"))
+            self._post(shard, ("trace", "trace"))
         for shard in self._shards:
             kind, worker_index, _token, events, worker_errors = (
-                shard.ack_queue.get()
+                self._await_ack(shard)
             )
             assert kind == "trace"
             if worker_errors:
@@ -303,11 +547,12 @@ class ShardedFleetCluster(ShadowCluster):
         if self._closed:
             return
         self._closed = True
+        if getattr(self, "_shards", None):
+            self._rollback_outstanding("observation")
         for shard in getattr(self, "_shards", []):
             if shard.buffer:
-                shard.op_queue.put(("ops", shard.buffer))
-                shard.buffer = []
-            shard.op_queue.put(("exit",))
+                self._ship(shard)
+            self._post(shard, ("exit",))
         for shard in getattr(self, "_shards", []):
             shard.process.join(timeout=10)
             if shard.process.is_alive():  # pragma: no cover - defensive
@@ -324,9 +569,11 @@ class ShardedFleetService(FleetService):
     """The serving loop over a :class:`ShardedFleetCluster`.
 
     Identical control flow to :class:`FleetService` (it *is* one); the
-    epoch hook forwards the fleet clock to the cluster so completed
-    epochs' ops stream to the shards while the loop keeps running, and
-    serve() ends with one verification barrier + trace merge.
+    epoch hook forwards the fleet clock — and the service itself, whose
+    event heap is what the speculation grant scan reads — to the
+    cluster so completed epochs' ops stream to the shards while the
+    loop keeps running, and serve() ends with one verification barrier
+    + trace merge.
     """
 
     def __init__(self, cluster: ShardedFleetCluster, policy, **kwargs) -> None:
@@ -337,7 +584,7 @@ class ShardedFleetService(FleetService):
         super().__init__(cluster, policy, **kwargs)
 
     def _advance_epoch(self, now: int) -> None:
-        self.cluster.advance_epoch(now)
+        self.cluster.advance_epoch(now, service=self)
 
     def serve(self, requests) -> "ServeResult":  # noqa: F821 - parent type
         result = super().serve(requests)

@@ -41,6 +41,20 @@ DISPATCH_OVERHEAD_S = 0.005
 MIN_PARALLEL_BUDGET_S = 0.05
 
 
+def fork_context():
+    """The multiprocessing context every repro parallel surface shares.
+
+    Fork start is preferred (workers inherit the configured fast-path
+    mode for free); spawn is the non-POSIX fallback, covered by the
+    ``REPRO_FAST_PATH`` environment variable.  Used by both the
+    experiment pool and the sharded fleet executor.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
 def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - subprocess
     """One pool worker: loop over (seq, fn, item) tasks until poisoned."""
     while True:
@@ -68,10 +82,7 @@ class WorkerPool:
         if processes < 1:
             raise ConfigurationError("a worker pool needs at least one process")
         if context is None:
-            try:
-                self._context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX fallback
-                self._context = multiprocessing.get_context("spawn")
+            self._context = fork_context()
         else:
             self._context = multiprocessing.get_context(context)
         self.processes = processes

@@ -369,6 +369,15 @@ class ShadowCluster:
     def health_report(self) -> Dict[str, str]:
         return {node.name: node.health.value for node in self.nodes}
 
+    def note_event(self, kind: str, now: int) -> str:
+        """Event-context label hook (see ``FleetCluster.note_event``).
+
+        The plain shadow needs nothing; :class:`~repro.parallel.executor
+        .ShardedFleetCluster` overrides this to attribute speculation
+        rollbacks to conflict classes.
+        """
+        return ""
+
     # -- fault-side plumbing -------------------------------------------------------
 
     def bump_auditor(

@@ -7,15 +7,25 @@ across S shards build in parallel), then loops over operation batches the
 coordinator's shadow bookkeeping emitted:
 
 ``place / evict / restore_tenant / cordon / uncordon / crash / recover /
-degrade / restore / bump_auditor``
+degrade / restore / bump_auditor`` — plus the speculation pair
+``spec_evict`` (apply a granted eviction early, after snapshotting the
+undo state) and ``spec_rollback`` (reinstate named speculative evictions,
+newest first, verifying the rebuilt guests digest identically).
 
-Ops arrive stamped with the epoch (simulated fleet time) they belong to
-and are applied strictly in emission order per node — the same order the
-serial serving loop would have applied them.  ``place`` ops carry the
-shadow's *predicted* slot and oversubscription flag; the worker verifies
-the real provider agrees and reports any divergence at the next barrier,
-so a bookkeeping bug fails the run loudly instead of silently skewing
-results.
+Op batches arrive either as plain lists (legacy pickle codec) or as
+binary frames (:mod:`repro.parallel.opstream`); each op is stamped with
+the epoch (simulated fleet time) it belongs to and applied strictly in
+emission order per node — the same order the serial serving loop would
+have applied them.  ``place`` ops carry the shadow's *predicted* slot and
+oversubscription flag; the worker verifies the real provider agrees and
+reports any divergence at the next barrier, so a bookkeeping bug fails
+the run loudly instead of silently skewing results.
+
+A regular op at epoch t retires undo entries granted at epochs <= t
+(their departures have committed coordinator-side by suppression); an
+undo entry still live *past* a regular op is a protocol violation and
+fails the run — the coordinator's rollback is guaranteed to travel ahead
+of any conflicting op in the same FIFO stream.
 
 Tracing: a forked worker inherits the coordinator's installed tracer
 *object*, which must not be written to (its events would be lost and the
@@ -30,6 +40,9 @@ from __future__ import annotations
 import traceback
 from typing import Dict, List, Optional, Tuple
 
+from repro.parallel.opstream import FrameDecoder
+from repro.parallel.speculate import capture_eviction_undo, reinstate_eviction
+
 
 def shard_worker_main(
     worker_index: int,
@@ -40,19 +53,22 @@ def shard_worker_main(
     first_pid: int,
     op_queue,
     ack_queue,
+    codec: str = "binary",
 ) -> None:  # pragma: no cover - runs in a forked subprocess
     """Entry point of one shard worker process.
 
     ``node_descs`` is ``[(global_index, name, slots), ...]`` in global
     node order.  Messages on ``op_queue``:
 
-    * ``("ops", [(global_index, epoch_ps, op, payload), ...])`` — apply
+    * ``("ops", frame_bytes_or_list)`` — apply a batch of
+      ``(global_index, epoch_ps, op, payload)`` ops; binary frames are
+      decoded via :func:`repro.parallel.opstream.decode_frame`
     * ``("checkpoint", token, global_index, tenant_name)`` — quiesce and
       serialize one resident guest; ack ``("checkpoint", worker_index,
       token, checkpoint_or_None, errors)``
     * ``("sync", token)`` — barrier ack: ``("sync", token, errors)``
     * ``("gather", token)`` — per-node reports (simulated time, metric
-      snapshots, occupancy)
+      snapshots shipped as deltas against the previous gather, occupancy)
     * ``("trace", token)`` — export the local tracer's events, once
     * ``("exit",)`` — leave the loop
 
@@ -61,12 +77,21 @@ def shard_worker_main(
     can raise with the worker's traceback attached.
     """
     from repro.fleet.node import FleetNode, NodeSpec
+    from repro.hv.checkpoint import IncrementalCheckpointer
     from repro.telemetry.tracer import install_tracer, uninstall_tracer
 
     local_tracer = None
     errors: List[str] = []
     nodes: Dict[int, object] = {}
     pid_by_node: Dict[int, int] = {}
+    #: Per-node speculative-eviction undo log, in application order.
+    undo_logs: Dict[int, List[object]] = {}
+    checkpointer = IncrementalCheckpointer()
+    #: Last metric snapshot shipped per node (delta-gather baseline).
+    last_metrics: Dict[int, Dict[str, object]] = {}
+    #: Stateful binary codec for this stream, mirroring the
+    #: coordinator-side encoder frame for frame.
+    decoder = FrameDecoder()
 
     try:
         if tracing:
@@ -94,15 +119,68 @@ def shard_worker_main(
         ack_queue.put(("built", worker_index, {}, traceback.format_exc()))
         return
 
+    def retire_committed(global_index: int, epoch_ps: int) -> None:
+        """Drop undo entries whose grants have committed (epoch <= now).
+
+        Any entry still live after that proves the coordinator let a
+        regular op overtake an unresolved grant — a protocol bug.
+        """
+        log = undo_logs.get(global_index)
+        if not log:
+            return
+        live = []
+        for undo in log:
+            if undo.grant_epoch <= epoch_ps:
+                checkpointer.forget(undo.vaccel.vaccel_id)
+            else:
+                live.append(undo)
+        log[:] = live
+        if log:
+            raise RuntimeError(
+                f"speculation protocol violation on node {global_index}: "
+                f"regular op at epoch {epoch_ps} with unresolved grants at "
+                f"epochs {[u.grant_epoch for u in log]}"
+            )
+
+    def drain_undo_logs() -> None:
+        """A barrier/gather means every outstanding grant was resolved
+        coordinator-side; surviving entries are committed leftovers."""
+        for log in undo_logs.values():
+            for undo in log:
+                checkpointer.forget(undo.vaccel.vaccel_id)
+            log.clear()
+
     while True:
         message = op_queue.get()
         kind = message[0]
         if kind == "exit":
             return
         if kind == "ops":
-            for global_index, epoch_ps, op, payload in message[1]:
+            batch = message[1]
+            if isinstance(batch, (bytes, bytearray)):
+                batch = decoder.decode(batch)
+            for global_index, epoch_ps, op, payload in batch:
                 try:
-                    _apply(nodes[global_index], op, payload)
+                    if op == "spec_evict":
+                        tenant_name = payload[0]
+                        undo = capture_eviction_undo(
+                            nodes[global_index],
+                            tenant_name,
+                            epoch_ps,
+                            checkpointer,
+                        )
+                        nodes[global_index].evict(tenant_name)
+                        undo_logs.setdefault(global_index, []).append(undo)
+                    elif op == "spec_rollback":
+                        _rollback(
+                            nodes[global_index],
+                            undo_logs.get(global_index, []),
+                            payload[0],
+                            checkpointer,
+                        )
+                    else:
+                        retire_committed(global_index, epoch_ps)
+                        _apply(nodes[global_index], op, payload)
                 except BaseException:
                     errors.append(
                         f"node {global_index} op {op}{payload!r} at epoch "
@@ -122,14 +200,31 @@ def shard_worker_main(
                 ("checkpoint", worker_index, token, checkpoint, list(errors))
             )
         elif kind == "sync":
+            drain_undo_logs()
             ack_queue.put(("sync", worker_index, message[1], list(errors)))
         elif kind == "gather":
+            drain_undo_logs()
             reports = {}
             try:
                 for global_index, node in nodes.items():
+                    snapshot = node.provider.platform.metrics.snapshot()
+                    previous = last_metrics.get(global_index)
+                    if previous is None or codec == "pickle":
+                        # The legacy codec reproduces the old protocol:
+                        # every gather ships the full snapshot.
+                        shipped: tuple = ("full", snapshot)
+                    else:
+                        changed = {
+                            key: value
+                            for key, value in snapshot.items()
+                            if key not in previous or previous[key] != value
+                        }
+                        removed = [k for k in previous if k not in snapshot]
+                        shipped = ("delta", changed, removed)
+                    last_metrics[global_index] = snapshot
                     reports[global_index] = {
                         "simulated_ps": node.provider.platform.engine.now,
-                        "metrics": node.provider.platform.metrics.snapshot(),
+                        "metrics": shipped,
                         "occupancy": node.provider.occupancy_report(),
                         "health": node.health.value,
                     }
@@ -139,6 +234,22 @@ def shard_worker_main(
         elif kind == "trace":
             events = local_tracer.export_events() if local_tracer is not None else []
             ack_queue.put(("trace", worker_index, message[1], events, list(errors)))
+
+
+def _rollback(node, log: List[object], tenant_names, checkpointer) -> None:
+    """Reinstate the named speculative evictions, newest first."""
+    names = set(tenant_names)
+    doomed = [u for u in log if u.tenant_name in names]
+    if len(doomed) != len(names):
+        missing = names - {u.tenant_name for u in doomed}
+        raise RuntimeError(
+            f"rollback of unknown speculative evictions on {node.name}: "
+            f"{sorted(missing)}"
+        )
+    log[:] = [u for u in log if u.tenant_name not in names]
+    for undo in reversed(doomed):
+        reinstate_eviction(node, undo)
+        checkpointer.forget(undo.vaccel.vaccel_id)
 
 
 def _apply(node, op: str, payload: tuple) -> None:

@@ -285,7 +285,9 @@ def _fleet_arm(scenario: Scenario, sharded: bool) -> Dict[str, object]:
         if sharded:
             from repro.parallel import ShardedFleetCluster, ShardedFleetService
 
-            cluster = ShardedFleetCluster.build(nodes, shards=2)
+            cluster = ShardedFleetCluster.build(
+                nodes, shards=2, lookahead=int(f.get("lookahead", 0))
+            )
             service_cls = ShardedFleetService
         else:
             cluster = FleetCluster.build(nodes)

@@ -201,14 +201,21 @@ CHAOS_ARGS = (
 )
 
 
+#: The sharded execution matrix every envelope must survive unchanged:
+#: conservative per-epoch streaming and speculative lookahead, at both
+#: shard counts.
+SHARD_MATRIX = [(2, 0), (2, 2), (3, 0), (3, 8)]
+
+
 class TestShardedByteIdentity:
     @pytest.mark.parametrize("seed", [1, 2])
     def test_fleet_envelope_identical_across_shard_counts(self, capsys, seed):
         code, serial = run_cli(capsys, *FLEET_ARGS, "--seed", str(seed))
         assert code == 0
-        for shards in (2, 3):
+        for shards, lookahead in SHARD_MATRIX:
             code, sharded = run_cli(
-                capsys, *FLEET_ARGS, "--seed", str(seed), "--shards", str(shards)
+                capsys, *FLEET_ARGS, "--seed", str(seed),
+                "--shards", str(shards), "--lookahead", str(lookahead),
             )
             assert code == 0
             assert sharded == serial  # byte-identical, not just equivalent
@@ -217,12 +224,41 @@ class TestShardedByteIdentity:
     def test_chaos_envelope_identical_across_shard_counts(self, capsys, seed):
         code, serial = run_cli(capsys, *CHAOS_ARGS, "--seed", str(seed))
         assert code == 0
-        for shards in (2, 3):
+        for shards, lookahead in SHARD_MATRIX:
             code, sharded = run_cli(
-                capsys, *CHAOS_ARGS, "--seed", str(seed), "--shards", str(shards)
+                capsys, *CHAOS_ARGS, "--seed", str(seed),
+                "--shards", str(shards), "--lookahead", str(lookahead),
             )
             assert code == 0
             assert sharded == serial
+
+    def test_single_node_fleet_bypasses_the_fork_pool(self, capsys):
+        # --shards on a 1-node fleet degenerates to the serial path:
+        # identical envelope, and no ShardedFleetCluster is ever built.
+        import repro.parallel.executor as executor
+
+        code, serial = run_cli(
+            capsys, "fleet", "--nodes", "1", "--requests", "24", "--json"
+        )
+        assert code == 0
+        built = []
+        original = executor.ShardedFleetCluster.__init__
+
+        def spy(self, *args, **kwargs):
+            built.append(True)
+            return original(self, *args, **kwargs)
+
+        executor.ShardedFleetCluster.__init__ = spy
+        try:
+            code, sharded = run_cli(
+                capsys, "fleet", "--nodes", "1", "--requests", "24",
+                "--json", "--shards", "4", "--lookahead", "8",
+            )
+        finally:
+            executor.ShardedFleetCluster.__init__ = original
+        assert code == 0
+        assert sharded == serial
+        assert built == []
 
     def test_fleet_envelope_reports_per_node_simulated_time(self, capsys):
         code, out = run_cli(capsys, *FLEET_ARGS, "--seed", "1")
@@ -232,7 +268,7 @@ class TestShardedByteIdentity:
         assert all("simulated_ps" in report for report in nodes.values())
 
 
-def _serve_traced(shards, *, seed, with_faults):
+def _serve_traced(shards, *, seed, with_faults, lookahead=0):
     from repro.faults import resolve_plan
     from repro.fleet import (
         FleetCluster,
@@ -248,7 +284,9 @@ def _serve_traced(shards, *, seed, with_faults):
         if shards > 1:
             from repro.parallel import ShardedFleetCluster, ShardedFleetService
 
-            cluster = ShardedFleetCluster.build(3, shards=shards)
+            cluster = ShardedFleetCluster.build(
+                3, shards=shards, lookahead=lookahead
+            )
             service_cls = ShardedFleetService
         else:
             cluster = FleetCluster.build(3)
@@ -281,9 +319,9 @@ class TestShardedTraces:
         serial_trace, serial_summary, serial_snapshot = _serve_traced(
             1, seed=seed, with_faults=with_faults
         )
-        for shards in (2, 3):
+        for shards, lookahead in SHARD_MATRIX:
             trace, summary, snapshot = _serve_traced(
-                shards, seed=seed, with_faults=with_faults
+                shards, seed=seed, with_faults=with_faults, lookahead=lookahead
             )
             assert trace == serial_trace
             assert summary == serial_summary

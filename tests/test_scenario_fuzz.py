@@ -84,6 +84,7 @@ def fleet_scenario(**overrides):
         "autoscale_standby": 1,
         "drain_node": "node1",
         "drain_at_ms": 4,
+        "lookahead": 2,
     }
     fields.update(overrides)
     return Scenario(kind="fleet", fields=fields)
